@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark: cost of elastic reconfiguration — gating and
+//! un-gating a node (link switching plus routing-table resynchronisation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use stringfigure::StringFigureNetwork;
+
+fn bench_reconfiguration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfiguration");
+    group.sample_size(20);
+    for &nodes in &[128usize, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("gate_ungate_roundtrip", nodes),
+            &nodes,
+            |b, &n| {
+                let mut network = StringFigureNetwork::generate(n).unwrap();
+                let mut victim = 1usize;
+                b.iter(|| {
+                    victim = (victim + 3) % n;
+                    let node = sf_types::NodeId::new(victim);
+                    if network.gate_node(node).is_ok() {
+                        network.ungate_node(node).unwrap();
+                    }
+                    black_box(network.num_active_nodes())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfiguration);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmark: per-hop forwarding-decision cost.
+//!
+//! The paper's argument for compute+table hybrid routing is that the decision
+//! is a fixed, small number of distance computations independent of network
+//! scale — this bench verifies the decision cost stays flat from 128 to 1296
+//! nodes and compares it against look-up-table routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_routing::{GreediestRouting, RoutingContext, RoutingProtocol, ShortestPathRouting, ZeroLoad};
+use sf_topology::{JellyfishTopology, MemoryNetworkTopology, StringFigureTopology};
+use sf_types::{NetworkConfig, NodeId};
+use std::hint::black_box;
+
+fn bench_routing_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_decision");
+    for &nodes in &[128usize, 512, 1296] {
+        let ports = if nodes <= 128 { 4 } else { 8 };
+        let config = NetworkConfig::new(nodes, ports).unwrap();
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        let greediest = GreediestRouting::new(&topo);
+        let ctx = RoutingContext::default();
+        group.bench_with_input(
+            BenchmarkId::new("greediest_next_hop", nodes),
+            &nodes,
+            |b, &n| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 7) % n;
+                    let from = NodeId::new(i);
+                    let to = NodeId::new((i * 31 + 17) % n);
+                    black_box(greediest.next_hop(from, to, &ZeroLoad, &ctx).unwrap())
+                });
+            },
+        );
+
+        let jelly = JellyfishTopology::generate(nodes, ports, 3).unwrap();
+        let table = ShortestPathRouting::new(jelly.graph(), "ksp");
+        group.bench_with_input(
+            BenchmarkId::new("lookup_table_next_hop", nodes),
+            &nodes,
+            |b, &n| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 7) % n;
+                    let from = NodeId::new(i);
+                    let to = NodeId::new((i * 31 + 17) % n);
+                    black_box(table.next_hop(from, to, &ZeroLoad, &ctx).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_decision);
+criterion_main!(benches);

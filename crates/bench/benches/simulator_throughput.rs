@@ -1,0 +1,45 @@
+//! Criterion micro-benchmark: cycle-level simulator throughput (simulated
+//! cycles per second of wall-clock time) for a mid-size String Figure network
+//! under uniform random traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_netsim::{NetworkSimulator, UniformRandomTraffic};
+use sf_routing::GreediestRouting;
+use sf_topology::StringFigureTopology;
+use sf_types::{NetworkConfig, SimulationConfig, SystemConfig};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    for &nodes in &[64usize, 256] {
+        let ports = if nodes <= 128 { 4 } else { 8 };
+        let topo =
+            StringFigureTopology::generate(&NetworkConfig::new(nodes, ports).unwrap()).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("uniform_random_2k_cycles", nodes),
+            &nodes,
+            |b, &n| {
+                b.iter(|| {
+                    let mut sim = NetworkSimulator::new(
+                        topo.graph().clone(),
+                        Box::new(GreediestRouting::new(&topo)),
+                        SystemConfig::default(),
+                        SimulationConfig {
+                            max_cycles: 2_000,
+                            warmup_cycles: 200,
+                            ..SimulationConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let mut traffic = UniformRandomTraffic::new(n, 0.1, 11);
+                    black_box(sim.run(&mut traffic).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

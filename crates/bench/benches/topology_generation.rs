@@ -1,0 +1,35 @@
+//! Criterion micro-benchmark: String Figure topology generation cost across
+//! network scales (the construction is offline in the paper, but its cost
+//! determines how cheap design-space exploration and reconfiguration planning
+//! are).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_topology::{JellyfishTopology, MeshTopology, StringFigureTopology};
+use sf_types::NetworkConfig;
+use std::hint::black_box;
+
+fn bench_topology_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(20);
+    for &nodes in &[128usize, 512, 1296] {
+        let ports = if nodes <= 128 { 4 } else { 8 };
+        group.bench_with_input(
+            BenchmarkId::new("string_figure", nodes),
+            &nodes,
+            |b, &n| {
+                let config = NetworkConfig::new(n, ports).unwrap();
+                b.iter(|| StringFigureTopology::generate(black_box(&config)).unwrap());
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("jellyfish", nodes), &nodes, |b, &n| {
+            b.iter(|| JellyfishTopology::generate(black_box(n), ports, 7).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("mesh", nodes), &nodes, |b, &n| {
+            b.iter(|| MeshTopology::distributed(black_box(n)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_generation);
+criterion_main!(benches);

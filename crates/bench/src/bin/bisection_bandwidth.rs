@@ -1,0 +1,35 @@
+//! Section V methodology — empirical minimum bisection bandwidth of each
+//! design (50 random bisections, averaged over 20 generated topologies).
+//!
+//! ```text
+//! cargo run --release -p sf-bench --bin bisection_bandwidth [-- --quick]
+//! ```
+
+use sf_bench::{fmt_f, print_table, quick_mode};
+use stringfigure::experiments::bisection_study;
+use stringfigure::TopologyKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_mode();
+    let (sizes, cuts, topologies): (Vec<usize>, usize, u64) = if quick {
+        (vec![64], 10, 3)
+    } else {
+        (vec![64, 128, 256], 50, 20)
+    };
+    eprintln!("# Empirical minimum bisection bandwidth (links across the cut)");
+    eprintln!("# {cuts} random bisections per topology, {topologies} topologies per design");
+    let mut table = Vec::new();
+    for &nodes in &sizes {
+        let rows = bisection_study(&TopologyKind::ALL, nodes, cuts, topologies)?;
+        for row in rows {
+            table.push(vec![
+                nodes.to_string(),
+                row.kind.to_string(),
+                row.minimum.to_string(),
+                fmt_f(row.average),
+            ]);
+        }
+    }
+    print_table(&["nodes", "design", "min bisection", "avg bisection"], &table);
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Figure 5 — average shortest path lengths of Jellyfish, S2, and String
+//! Figure across network sizes (sufficiently-uniform random graph check).
+//!
+//! ```text
+//! cargo run --release -p sf-bench --bin fig05_surg_path_length [-- --quick]
+//! ```
+
+use sf_bench::{fmt_f, print_table, quick_mode};
+use stringfigure::experiments::surg_path_length_study;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
+        (vec![100, 200, 400], 3)
+    } else {
+        // The paper's x-axis: 100, 200, 400, 800, 1200 nodes, averaged over
+        // 20 generated topologies.
+        (vec![100, 200, 400, 800, 1200], 20)
+    };
+    eprintln!("# Figure 5: average shortest path length (lower is better)");
+    eprintln!("# averaging over {seeds} generated topologies per point");
+    let rows = surg_path_length_study(&sizes, seeds)?;
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.nodes.to_string(),
+                fmt_f(r.jellyfish),
+                fmt_f(r.s2),
+                fmt_f(r.string_figure),
+            ]
+        })
+        .collect();
+    print_table(&["nodes", "Jellyfish", "S2", "String Figure"], &table);
+    Ok(())
+}

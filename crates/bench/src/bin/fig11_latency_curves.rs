@@ -1,0 +1,61 @@
+//! Figure 11 — average packet latency versus injection rate for every
+//! synthetic traffic pattern (networks below one thousand nodes).
+//!
+//! ```text
+//! cargo run --release -p sf-bench --bin fig11_latency_curves [-- --quick]
+//! ```
+
+use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_workloads::SyntheticPattern;
+use stringfigure::experiments::{latency_curve, ExperimentScale};
+use stringfigure::TopologyKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = quick_mode();
+    let nodes = if quick { 64 } else { 256 };
+    let rates: Vec<f64> = if quick {
+        vec![0.05, 0.2, 0.5]
+    } else {
+        vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
+    };
+    let scale = if quick {
+        ExperimentScale::quick()
+    } else {
+        ExperimentScale {
+            max_cycles: 6_000,
+            warmup_cycles: 800,
+        }
+    };
+    let kinds = if quick {
+        vec![TopologyKind::DistributedMesh, TopologyKind::StringFigure]
+    } else {
+        TopologyKind::ALL.to_vec()
+    };
+    let patterns = if quick {
+        vec![SyntheticPattern::UniformRandom, SyntheticPattern::Tornado]
+    } else {
+        SyntheticPattern::ALL.to_vec()
+    };
+    eprintln!("# Figure 11: average packet latency (cycles) vs injection rate, {nodes} nodes");
+    let mut table = Vec::new();
+    for &pattern in &patterns {
+        for &kind in &kinds {
+            let points = latency_curve(kind, nodes, pattern, &rates, scale, 5)?;
+            for p in points {
+                table.push(vec![
+                    pattern.to_string(),
+                    kind.to_string(),
+                    format!("{:.2}", p.injection_rate),
+                    fmt_f(p.average_latency_cycles),
+                    fmt_f(p.accepted_throughput),
+                    if p.saturated { "yes" } else { "no" }.to_string(),
+                ]);
+            }
+        }
+    }
+    print_table(
+        &["pattern", "design", "rate", "avg latency", "accepted throughput", "saturated"],
+        &table,
+    );
+    Ok(())
+}

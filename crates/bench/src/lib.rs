@@ -1,0 +1,88 @@
+//! # `sf-bench`
+//!
+//! Benchmark and experiment harnesses for the String Figure reproduction.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures by
+//! calling [`stringfigure::experiments`] with the paper's parameters and
+//! printing plain-text tables (see `EXPERIMENTS.md` at the repository root
+//! for the index and for paper-versus-measured comparisons). The Criterion
+//! benches in `benches/` measure the cost of the core operations themselves
+//! (topology generation, routing decisions, simulator cycles,
+//! reconfiguration).
+//!
+//! Shared table-printing helpers live here so every binary formats output the
+//! same way.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Prints a Markdown-style table: a header row followed by data rows.
+///
+/// Column widths adapt to the widest cell so the output is readable both in a
+/// terminal and when pasted into `EXPERIMENTS.md`.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(4)))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(headers.iter().map(|h| (*h).to_string()).collect());
+    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(separator);
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a float with three significant decimals for table cells.
+#[must_use]
+pub fn fmt_f(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats an optional percentage (used for saturation points).
+#[must_use]
+pub fn fmt_percent(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.0}%"),
+        None => "saturated".to_string(),
+    }
+}
+
+/// Parses a `--quick` flag from the command line arguments, letting every
+/// harness run in a reduced-scale mode for smoke testing.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456), "1.235");
+        assert_eq!(fmt_percent(Some(62.0)), "62%");
+        assert_eq!(fmt_percent(None), "saturated");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "b"],
+            &[vec!["1".to_string(), "2".to_string()], vec!["33".to_string(), "4".to_string()]],
+        );
+    }
+}

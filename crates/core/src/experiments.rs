@@ -1,0 +1,768 @@
+//! Experiment drivers that regenerate the paper's tables and figures.
+//!
+//! Each function corresponds to one evaluation artefact and returns plain
+//! serialisable rows; the `sf-bench` binaries call these with the paper's
+//! parameters and print the resulting tables, while the integration tests run
+//! them at reduced scale to check the qualitative trends (who wins, and by
+//! roughly how much).
+//!
+//! | function | paper artefact |
+//! |----------|----------------|
+//! | [`surg_path_length_study`]     | Figure 5 |
+//! | [`hop_count_study`]            | Figure 9(a) |
+//! | [`power_gating_study`]         | Figure 9(b) |
+//! | [`saturation_study`]           | Figure 10 |
+//! | [`latency_curve`]              | Figure 11 |
+//! | [`workload_study`]             | Figure 12(a) and 12(b) |
+//! | [`bisection_study`]            | Section V bisection methodology |
+//! | [`configuration_table`]        | Figure 8 / Table II |
+
+use crate::comparison::{NetworkInstance, TopologyKind};
+use crate::network::StringFigureNetwork;
+use crate::power::PowerManager;
+use serde::{Deserialize, Serialize};
+use sf_netsim::SimulationStats;
+use sf_topology::analysis;
+use sf_types::{NodeId, SfResult, SimulationConfig, SystemConfig};
+use sf_workloads::{
+    AddressMapper, ApplicationModel, CacheHierarchy, PatternTraffic, SyntheticPattern,
+    WorkloadTraffic,
+};
+
+/// Controls how long the cycle-level simulations of an experiment run.
+///
+/// The paper's RTL runs use 100,000 operations; integration tests use the
+/// `quick` scale so the whole suite stays fast, while the bench harness uses
+/// `paper` scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Simulated cycles per run.
+    pub max_cycles: u64,
+    /// Warm-up cycles excluded from the statistics.
+    pub warmup_cycles: u64,
+}
+
+impl ExperimentScale {
+    /// Small scale for tests (about a thousand cycles).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            max_cycles: 1_200,
+            warmup_cycles: 200,
+        }
+    }
+
+    /// Full scale used by the benchmark harness.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            max_cycles: 20_000,
+            warmup_cycles: 2_000,
+        }
+    }
+
+    /// The corresponding simulator configuration.
+    #[must_use]
+    pub fn simulation_config(&self) -> SimulationConfig {
+        SimulationConfig {
+            max_cycles: self.max_cycles,
+            warmup_cycles: self.warmup_cycles,
+            ..SimulationConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: sufficiently-uniform-random-graph path-length comparison
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 5 comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurgRow {
+    /// Network size.
+    pub nodes: usize,
+    /// Average shortest path length of Jellyfish.
+    pub jellyfish: f64,
+    /// Average shortest path length of S2.
+    pub s2: f64,
+    /// Average shortest path length of String Figure.
+    pub string_figure: f64,
+}
+
+/// Reproduces Figure 5: average shortest path lengths of Jellyfish, S2, and
+/// String Figure across network sizes, averaged over `seeds` generated
+/// topologies each.
+///
+/// # Errors
+///
+/// Propagates topology construction errors.
+pub fn surg_path_length_study(sizes: &[usize], seeds: u64) -> SfResult<Vec<SurgRow>> {
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        let mut sums = [0.0f64; 3];
+        for seed in 0..seeds.max(1) {
+            let kinds = [
+                TopologyKind::Jellyfish,
+                TopologyKind::SpaceShuffle,
+                TopologyKind::StringFigure,
+            ];
+            for (i, kind) in kinds.into_iter().enumerate() {
+                let instance = NetworkInstance::build(kind, nodes, seed + 1)?;
+                sums[i] += instance.average_shortest_path();
+            }
+        }
+        let denom = seeds.max(1) as f64;
+        rows.push(SurgRow {
+            nodes,
+            jellyfish: sums[0] / denom,
+            s2: sums[1] / denom,
+            string_figure: sums[2] / denom,
+        });
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9(a): average hop counts across designs and scales
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 9(a) hop-count study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopCountRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Average shortest-path length (graph metric).
+    pub average_shortest_path: f64,
+    /// Average hop count actually taken by the design's routing protocol.
+    pub average_routed_hops: f64,
+    /// Router ports this design needs at this scale.
+    pub router_ports: usize,
+}
+
+/// Reproduces Figure 9(a): average hop counts of every design across network
+/// sizes, using each design's own routing protocol over `samples` random
+/// source/destination pairs.
+///
+/// # Errors
+///
+/// Propagates topology construction and routing errors.
+pub fn hop_count_study(
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    samples: usize,
+    seed: u64,
+) -> SfResult<Vec<HopCountRow>> {
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        for &kind in kinds {
+            let instance = NetworkInstance::build(kind, nodes, seed)?;
+            rows.push(HopCountRow {
+                kind,
+                nodes,
+                average_shortest_path: instance.average_shortest_path(),
+                average_routed_hops: instance.average_routed_hops(samples)?,
+                router_ports: instance.router_ports(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: network saturation points
+// ---------------------------------------------------------------------------
+
+/// One saturation measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SaturationRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Traffic pattern evaluated.
+    pub pattern: SyntheticPattern,
+    /// Highest injection rate (as a percentage) that did not saturate the
+    /// network; `None` when even the lowest rate saturated.
+    pub saturation_percent: Option<f64>,
+}
+
+/// Reproduces Figure 10: sweeps injection rates and reports the saturation
+/// point of each design/size/pattern combination.
+///
+/// A rate counts as saturated when the simulator's backlog heuristic triggers
+/// or the average latency exceeds four times the latency at the lowest rate.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn saturation_study(
+    kinds: &[TopologyKind],
+    nodes: usize,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<SaturationRow>> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        let instance = NetworkInstance::build(kind, nodes, seed)?;
+        let mut best: Option<f64> = None;
+        let mut base_latency: Option<f64> = None;
+        for &rate in rates {
+            let stats = run_pattern_on(&instance, pattern, rate, scale, seed)?;
+            let latency = stats.average_latency_cycles();
+            let base = *base_latency.get_or_insert(latency.max(1.0));
+            let saturated = stats.is_saturated() || latency > 4.0 * base;
+            if saturated {
+                break;
+            }
+            best = Some(rate);
+        }
+        rows.push(SaturationRow {
+            kind,
+            nodes,
+            pattern,
+            saturation_percent: best.map(|r| r * 100.0),
+        });
+    }
+    Ok(rows)
+}
+
+/// Runs one synthetic-pattern simulation on a pre-built instance.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_pattern_on(
+    instance: &NetworkInstance,
+    pattern: SyntheticPattern,
+    injection_rate: f64,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<SimulationStats> {
+    let mut sim = instance.make_simulator(SystemConfig::default(), scale.simulation_config())?;
+    let mut traffic = PatternTraffic::new(pattern, instance.num_nodes(), injection_rate, seed);
+    sim.run(&mut traffic)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: latency versus injection rate curves
+// ---------------------------------------------------------------------------
+
+/// One point of a latency-versus-injection-rate curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPoint {
+    /// Injection rate (packets per node per cycle).
+    pub injection_rate: f64,
+    /// Average packet latency in cycles.
+    pub average_latency_cycles: f64,
+    /// Accepted throughput (delivered packets per node per cycle).
+    pub accepted_throughput: f64,
+    /// Whether the run saturated.
+    pub saturated: bool,
+}
+
+/// Reproduces one curve of Figure 11: average packet latency of `kind` under
+/// `pattern` across the given injection rates.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn latency_curve(
+    kind: TopologyKind,
+    nodes: usize,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<LatencyPoint>> {
+    let instance = NetworkInstance::build(kind, nodes, seed)?;
+    let mut points = Vec::new();
+    for &rate in rates {
+        let stats = run_pattern_on(&instance, pattern, rate, scale, seed)?;
+        let measured = scale.max_cycles - scale.warmup_cycles;
+        points.push(LatencyPoint {
+            injection_rate: rate,
+            average_latency_cycles: stats.average_latency_cycles(),
+            accepted_throughput: stats.accepted_throughput(measured),
+            saturated: stats.is_saturated(),
+        });
+    }
+    Ok(points)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: real-workload throughput and energy
+// ---------------------------------------------------------------------------
+
+/// Result of one design running one application workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Application evaluated.
+    pub workload: ApplicationModel,
+    /// Completed memory requests per cycle (the throughput proxy the
+    /// normalised Figure 12(a) bars are derived from).
+    pub requests_per_cycle: f64,
+    /// Average memory-request round-trip latency in cycles.
+    pub average_round_trip_cycles: f64,
+    /// Dynamic memory energy per completed request, in picojoules.
+    pub energy_per_request_pj: f64,
+    /// Total dynamic energy, in picojoules.
+    pub total_energy_pj: f64,
+}
+
+/// Reproduces Figure 12: runs each application on each design in
+/// request–reply mode from `socket_count` processor-attached nodes and
+/// reports throughput and dynamic energy.
+///
+/// # Errors
+///
+/// Propagates construction, workload, and simulation errors.
+pub fn workload_study(
+    kinds: &[TopologyKind],
+    workloads: &[ApplicationModel],
+    nodes: usize,
+    socket_count: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<WorkloadRow>> {
+    let mut rows = Vec::new();
+    let injectors = socket_nodes(nodes, socket_count);
+    for &kind in kinds {
+        let instance = NetworkInstance::build(kind, nodes, seed)?;
+        for &workload in workloads {
+            let stats = run_workload_on(&instance, workload, &injectors, scale, seed)?;
+            let measured = scale.max_cycles - scale.warmup_cycles;
+            let completed = stats.completed_requests.max(1);
+            rows.push(WorkloadRow {
+                kind,
+                workload,
+                requests_per_cycle: stats.completed_requests as f64 / measured as f64,
+                average_round_trip_cycles: stats.average_round_trip_cycles(),
+                energy_per_request_pj: stats.total_energy_pj() / completed as f64,
+                total_energy_pj: stats.total_energy_pj(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Runs one application workload on a pre-built instance.
+///
+/// # Errors
+///
+/// Propagates workload and simulation errors.
+pub fn run_workload_on(
+    instance: &NetworkInstance,
+    workload: ApplicationModel,
+    injectors: &[NodeId],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<SimulationStats> {
+    let mapper = AddressMapper::paper_default(instance.num_nodes())?;
+    // A reduced cache keeps the miss stream dense enough to exercise the
+    // network within the simulated window (the paper's traces are likewise
+    // collected post-initialisation, when caches are already thrashing).
+    let cache = CacheHierarchy::tiny()?;
+    let mut traffic =
+        WorkloadTraffic::with_cache(workload, mapper, injectors, seed, &cache)?;
+    let mut sim = instance
+        .make_simulator(SystemConfig::default(), scale.simulation_config())?
+        .with_request_reply(true);
+    sim.run(&mut traffic)
+}
+
+/// Evenly spreads `count` processor sockets over the memory nodes (processors
+/// can attach to any node in String Figure; the evaluation attaches them to a
+/// spread-out subset).
+#[must_use]
+pub fn socket_nodes(nodes: usize, count: usize) -> Vec<NodeId> {
+    let count = count.clamp(1, nodes);
+    (0..count)
+        .map(|i| NodeId::new(i * nodes / count))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9(b): power-gating energy-delay product
+// ---------------------------------------------------------------------------
+
+/// One point of the Figure 9(b) power-management study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerGateRow {
+    /// Fraction of memory nodes gated off.
+    pub gated_fraction: f64,
+    /// Number of nodes actually gated.
+    pub gated_nodes: usize,
+    /// Energy-delay product of the run (pJ · cycles).
+    pub energy_delay_product: f64,
+    /// EDP normalised to the un-gated run (lower is better).
+    pub normalized_edp: f64,
+    /// Average request round-trip latency in cycles.
+    pub average_round_trip_cycles: f64,
+}
+
+/// Reproduces Figure 9(b): runs `workload` on a String Figure network while
+/// power gating increasing fractions of the memory nodes, reporting the
+/// normalised energy-delay product.
+///
+/// # Errors
+///
+/// Propagates construction, reconfiguration, and simulation errors.
+pub fn power_gating_study(
+    nodes: usize,
+    fractions: &[f64],
+    workload: ApplicationModel,
+    socket_count: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<PowerGateRow>> {
+    let mut rows = Vec::new();
+    let mut baseline_edp: Option<f64> = None;
+    for &fraction in fractions {
+        let mut network = StringFigureNetwork::builder(nodes)
+            .seed(seed)
+            .simulation(scale.simulation_config())
+            .build()?;
+        let gated = if fraction > 0.0 {
+            let mut pm = PowerManager::new(&mut network);
+            pm.gate_fraction(fraction, seed)?
+        } else {
+            Vec::new()
+        };
+        // Processor sockets attach to nodes that remain powered.
+        let active: Vec<NodeId> = network.topology().graph().active_nodes().collect();
+        let injectors: Vec<NodeId> = socket_nodes(active.len(), socket_count)
+            .iter()
+            .map(|i| active[i.index()])
+            .collect();
+        // Data is redistributed over the remaining nodes.
+        let mapper = AddressMapper::paper_default(active.len())?;
+        let cache = CacheHierarchy::tiny()?;
+        let mut traffic = RemappedWorkload {
+            inner: WorkloadTraffic::with_cache(workload, mapper, &remap_injectors(&injectors, &active), seed, &cache)?,
+            active: active.clone(),
+        };
+        let stats = network.run_traffic(&mut traffic, scale.simulation_config(), true)?;
+        let edp = stats.energy_delay_product();
+        let base = *baseline_edp.get_or_insert(edp.max(f64::MIN_POSITIVE));
+        rows.push(PowerGateRow {
+            gated_fraction: fraction,
+            gated_nodes: gated.len(),
+            energy_delay_product: edp,
+            normalized_edp: edp / base,
+            average_round_trip_cycles: stats.average_round_trip_cycles(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Maps injector node ids (positions within the active set) back to dense
+/// indices for the shrunken address space.
+fn remap_injectors(injectors: &[NodeId], active: &[NodeId]) -> Vec<NodeId> {
+    injectors
+        .iter()
+        .map(|n| {
+            let pos = active.iter().position(|a| a == n).unwrap_or(0);
+            NodeId::new(pos)
+        })
+        .collect()
+}
+
+/// Wraps a [`WorkloadTraffic`] built over the dense active-node index space
+/// and translates its sources/destinations back to the real node ids of a
+/// partially gated network.
+#[derive(Debug)]
+struct RemappedWorkload {
+    inner: WorkloadTraffic,
+    active: Vec<NodeId>,
+}
+
+impl sf_netsim::TrafficModel for RemappedWorkload {
+    fn maybe_inject(
+        &mut self,
+        cycle: u64,
+        source: NodeId,
+    ) -> Option<sf_netsim::TrafficRequest> {
+        // Translate the physical source id to its dense index; silent when the
+        // source is not an active node.
+        let dense = NodeId::new(self.active.iter().position(|a| *a == source)?);
+        let request = self.inner.maybe_inject(cycle, dense)?;
+        Some(sf_netsim::TrafficRequest {
+            destination: self.active[request.destination.index()],
+            write: request.write,
+        })
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.inner.is_exhausted()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bisection bandwidth and configuration tables
+// ---------------------------------------------------------------------------
+
+/// One row of the bisection-bandwidth study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BisectionRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Empirical minimum bisection bandwidth (links across the cut).
+    pub minimum: u64,
+    /// Mean bisection bandwidth over the sampled cuts.
+    pub average: f64,
+}
+
+/// Reproduces the bisection-bandwidth methodology of Section V (50 random
+/// bisections, averaged over generated topologies).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn bisection_study(
+    kinds: &[TopologyKind],
+    nodes: usize,
+    cuts: usize,
+    topologies: u64,
+) -> SfResult<Vec<BisectionRow>> {
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        let mut min_sum = 0u64;
+        let mut avg_sum = 0.0;
+        for seed in 0..topologies.max(1) {
+            let instance = NetworkInstance::build(kind, nodes, seed + 1)?;
+            let bb = instance.bisection_bandwidth(cuts, seed + 100);
+            min_sum += bb.minimum;
+            avg_sum += bb.average;
+        }
+        let denom = topologies.max(1);
+        rows.push(BisectionRow {
+            kind,
+            nodes,
+            minimum: min_sum / denom,
+            average: avg_sum / denom as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the Figure 8 / Table II configuration summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigurationRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Router ports required.
+    pub router_ports: usize,
+    /// Total links in the network.
+    pub links: usize,
+    /// Whether the design needs high-radix routers (Table II).
+    pub requires_high_radix: bool,
+    /// Whether the design supports reconfigurable scaling (Table II).
+    pub supports_reconfiguration: bool,
+}
+
+/// Reproduces the Figure 8 configuration table plus Table II's feature
+/// matrix for the given sizes.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn configuration_table(
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    seed: u64,
+) -> SfResult<Vec<ConfigurationRow>> {
+    let mut rows = Vec::new();
+    for &nodes in sizes {
+        for &kind in kinds {
+            let instance = NetworkInstance::build(kind, nodes, seed)?;
+            rows.push(ConfigurationRow {
+                kind,
+                nodes,
+                router_ports: instance.router_ports(),
+                links: instance.graph().num_edges(),
+                requires_high_radix: kind.requires_high_radix(),
+                supports_reconfiguration: kind.supports_reconfiguration(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Average-path-length summary of a partially gated String Figure network,
+/// used by the reconfiguration examples and tests.
+///
+/// # Errors
+///
+/// Propagates construction and reconfiguration errors.
+pub fn gated_path_length(nodes: usize, fraction: f64, seed: u64) -> SfResult<analysis::PathLengthStats> {
+    let mut network = StringFigureNetwork::builder(nodes).seed(seed).build()?;
+    let mut pm = PowerManager::new(&mut network);
+    pm.gate_fraction(fraction, seed)?;
+    Ok(network.path_stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surg_rows_show_flat_scaling() {
+        let rows = surg_path_length_study(&[64, 200], 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.string_figure < 6.0);
+            assert!((row.string_figure - row.s2).abs() < 1.0);
+            assert!((row.string_figure - row.jellyfish).abs() < 1.5);
+        }
+        // Tripling the size should cost well under one extra hop.
+        assert!(rows[1].string_figure - rows[0].string_figure < 1.0);
+    }
+
+    #[test]
+    fn hop_count_study_orders_designs() {
+        let rows = hop_count_study(
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            &[144],
+            200,
+            1,
+        )
+        .unwrap();
+        let mesh = rows.iter().find(|r| r.kind == TopologyKind::DistributedMesh).unwrap();
+        let sf = rows.iter().find(|r| r.kind == TopologyKind::StringFigure).unwrap();
+        assert!(mesh.average_routed_hops > sf.average_routed_hops);
+        assert!(sf.average_routed_hops < 8.0);
+        assert_eq!(sf.router_ports, 8);
+    }
+
+    #[test]
+    fn saturation_study_runs_and_mesh_saturates_first() {
+        let rates = [0.02, 0.10, 0.30, 0.60];
+        let rows = saturation_study(
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            36,
+            SyntheticPattern::UniformRandom,
+            &rates,
+            ExperimentScale::quick(),
+            3,
+        )
+        .unwrap();
+        let mesh = &rows[0];
+        let sf = &rows[1];
+        let mesh_sat = mesh.saturation_percent.unwrap_or(0.0);
+        let sf_sat = sf.saturation_percent.unwrap_or(0.0);
+        assert!(sf_sat >= mesh_sat, "SF {sf_sat} should beat mesh {mesh_sat}");
+    }
+
+    #[test]
+    fn latency_curve_is_monotonic_until_saturation() {
+        let points = latency_curve(
+            TopologyKind::StringFigure,
+            32,
+            SyntheticPattern::UniformRandom,
+            &[0.02, 0.20],
+            ExperimentScale::quick(),
+            5,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert!(points[1].average_latency_cycles >= points[0].average_latency_cycles * 0.8);
+        assert!(points[0].accepted_throughput > 0.0);
+    }
+
+    #[test]
+    fn workload_study_produces_rows_for_each_pair() {
+        let rows = workload_study(
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            &[ApplicationModel::Memcached],
+            32,
+            4,
+            ExperimentScale::quick(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.requests_per_cycle > 0.0, "{}", row.kind);
+            assert!(row.total_energy_pj > 0.0);
+            assert!(row.average_round_trip_cycles > 0.0);
+        }
+    }
+
+    #[test]
+    fn power_gating_study_produces_normalized_rows() {
+        let rows = power_gating_study(
+            48,
+            &[0.0, 0.25],
+            ApplicationModel::SparkGrep,
+            4,
+            ExperimentScale::quick(),
+            9,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!((rows[0].normalized_edp - 1.0).abs() < 1e-9);
+        assert_eq!(rows[0].gated_nodes, 0);
+        assert!(rows[1].gated_nodes >= 8);
+        assert!(rows[1].normalized_edp > 0.0);
+    }
+
+    #[test]
+    fn bisection_and_configuration_tables() {
+        let bisection = bisection_study(
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            36,
+            5,
+            2,
+        )
+        .unwrap();
+        let mesh = &bisection[0];
+        let sf = &bisection[1];
+        assert!(sf.minimum >= mesh.minimum, "SF {} vs mesh {}", sf.minimum, mesh.minimum);
+
+        let config = configuration_table(&TopologyKind::ALL, &[64], 1).unwrap();
+        assert_eq!(config.len(), 6);
+        let fb = config
+            .iter()
+            .find(|r| r.kind == TopologyKind::FlattenedButterfly)
+            .unwrap();
+        let sf_row = config
+            .iter()
+            .find(|r| r.kind == TopologyKind::StringFigure)
+            .unwrap();
+        assert!(fb.router_ports > sf_row.router_ports);
+        assert!(fb.links > sf_row.links);
+        assert!(sf_row.supports_reconfiguration);
+    }
+
+    #[test]
+    fn socket_nodes_spread_evenly() {
+        let sockets = socket_nodes(16, 4);
+        assert_eq!(sockets, vec![NodeId::new(0), NodeId::new(4), NodeId::new(8), NodeId::new(12)]);
+        assert_eq!(socket_nodes(4, 10).len(), 4);
+        assert_eq!(socket_nodes(100, 1), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn gated_path_length_stays_bounded() {
+        let full = gated_path_length(64, 0.0, 1).unwrap();
+        let gated = gated_path_length(64, 0.3, 1).unwrap();
+        assert!(gated.average < full.average + 2.0);
+        assert_eq!(gated.unreachable_pairs, 0);
+    }
+
+    #[test]
+    fn experiment_scales() {
+        assert!(ExperimentScale::paper().max_cycles > ExperimentScale::quick().max_cycles);
+        assert!(ExperimentScale::quick().simulation_config().validate().is_ok());
+    }
+}

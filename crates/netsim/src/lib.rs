@@ -1,0 +1,53 @@
+//! # `sf-netsim`
+//!
+//! Cycle-level memory-network simulator for the String Figure reproduction
+//! (HPCA 2019). The paper evaluates its design with synthesisable RTL models;
+//! this crate substitutes a packet-granularity, credit-based, input-queued
+//! router simulator that reproduces the metrics the paper reports — average
+//! packet latency, network saturation, throughput, and dynamic energy — on
+//! top of the same topology, routing, timing, and energy parameters
+//! (Table I).
+//!
+//! ## Modules
+//!
+//! * [`packet`] — packets, packet kinds/sizes, and the [`TrafficModel`] trait
+//!   the workload generators implement.
+//! * [`memory`] — the per-node DRAM service model (row-buffer behaviour and
+//!   Table I timing).
+//! * [`simulator`] — the [`NetworkSimulator`] itself.
+//! * [`stats`] — [`SimulationStats`] and derived metrics (latency, accepted
+//!   throughput, energy-delay product, saturation heuristic).
+//!
+//! ## Example
+//!
+//! ```
+//! use sf_netsim::{NetworkSimulator, UniformRandomTraffic};
+//! use sf_routing::GreediestRouting;
+//! use sf_topology::StringFigureTopology;
+//! use sf_types::{NetworkConfig, SimulationConfig, SystemConfig};
+//!
+//! let topology = StringFigureTopology::generate(&NetworkConfig::new(32, 4)?)?;
+//! let mut simulator = NetworkSimulator::new(
+//!     topology.graph().clone(),
+//!     Box::new(GreediestRouting::new(&topology)),
+//!     SystemConfig::default(),
+//!     SimulationConfig { max_cycles: 1_000, warmup_cycles: 100, ..SimulationConfig::default() },
+//! )?;
+//! let stats = simulator.run(&mut UniformRandomTraffic::new(32, 0.02, 1))?;
+//! assert!(stats.delivery_ratio() > 0.9);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod memory;
+pub mod packet;
+pub mod simulator;
+pub mod stats;
+
+pub use memory::{MemoryNodeModel, MemoryNodeStats};
+pub use packet::{Packet, PacketKind, TrafficModel, TrafficRequest};
+pub use simulator::{NetworkSimulator, UniformRandomTraffic};
+pub use stats::SimulationStats;

@@ -1,0 +1,172 @@
+//! Memory-node service model: DRAM access latency and access energy.
+//!
+//! Each memory node in the network contains a 3D DRAM stack. When a request
+//! packet arrives, the node spends a DRAM access latency (derived from the
+//! Table I timing parameters) before the reply can be injected back into the
+//! network. A simple row-buffer model decides between row-hit and row-miss
+//! latency based on address locality of consecutive accesses to the same
+//! node; the synthetic workload generators exercise it through their access
+//! streams.
+
+use serde::{Deserialize, Serialize};
+use sf_types::{DramTiming, NodeId, SystemConfig};
+
+/// Statistics of one memory node's DRAM activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryNodeStats {
+    /// Number of read accesses serviced.
+    pub reads: u64,
+    /// Number of write accesses serviced.
+    pub writes: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer misses.
+    pub row_misses: u64,
+}
+
+impl MemoryNodeStats {
+    /// Total accesses serviced.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Row-hit rate in `[0, 1]` (0 when no accesses were made).
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// DRAM service model of one memory node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryNodeModel {
+    node: NodeId,
+    timing: DramTiming,
+    cycle_ns: f64,
+    /// Row currently open in the (single modelled) bank, keyed by row address.
+    open_row: Option<u64>,
+    /// Number of rows per node used to map addresses to rows.
+    row_bytes: u64,
+    stats: MemoryNodeStats,
+}
+
+impl MemoryNodeModel {
+    /// Row size used to derive row addresses from byte addresses (2 KiB, a
+    /// typical DRAM page).
+    pub const ROW_BYTES: u64 = 2048;
+
+    /// Creates the service model for one memory node.
+    #[must_use]
+    pub fn new(node: NodeId, system: &SystemConfig) -> Self {
+        Self {
+            node,
+            timing: system.dram,
+            cycle_ns: system.cycle_ns(),
+            open_row: None,
+            row_bytes: Self::ROW_BYTES,
+            stats: MemoryNodeStats::default(),
+        }
+    }
+
+    /// The node this model belongs to.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Serves one access to `address` (a byte address local to this node) and
+    /// returns the service latency in network cycles.
+    pub fn access(&mut self, address: u64, write: bool) -> u64 {
+        let row = address / self.row_bytes;
+        let hit = self.open_row == Some(row);
+        let latency_ns = if hit {
+            self.stats.row_hits += 1;
+            self.timing.row_hit_ns()
+        } else {
+            self.stats.row_misses += 1;
+            if self.open_row.is_some() {
+                self.timing.row_conflict_ns()
+            } else {
+                self.timing.row_miss_ns()
+            }
+        };
+        self.open_row = Some(row);
+        if write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        (latency_ns / self.cycle_ns).ceil() as u64
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MemoryNodeStats {
+        self.stats
+    }
+
+    /// Resets statistics and the open-row state (used between measurement
+    /// phases).
+    pub fn reset(&mut self) {
+        self.open_row = None;
+        self.stats = MemoryNodeStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> MemoryNodeModel {
+        MemoryNodeModel::new(NodeId::new(0), &SystemConfig::default())
+    }
+
+    #[test]
+    fn first_access_is_a_row_miss() {
+        let mut m = model();
+        // Row miss to a closed bank: tRCD + tCL = 18 ns = 6 cycles at 3.2 ns.
+        assert_eq!(m.access(0, false), 6);
+        assert_eq!(m.stats().row_misses, 1);
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn same_row_hits_are_faster() {
+        let mut m = model();
+        let miss = m.access(64, false);
+        let hit = m.access(128, false);
+        assert!(hit < miss);
+        // Row hit: tCL = 6 ns = 2 cycles.
+        assert_eq!(hit, 2);
+        assert_eq!(m.stats().row_hits, 1);
+        assert!((m.stats().row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_row_causes_conflict() {
+        let mut m = model();
+        m.access(0, false);
+        // 1 MiB away is a different 2 KiB row: precharge + activate + CAS.
+        let conflict = m.access(1 << 20, true);
+        assert_eq!(conflict, 10); // 32 ns / 3.2 ns per cycle
+        assert_eq!(m.stats().writes, 1);
+        assert_eq!(m.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = model();
+        m.access(0, false);
+        m.reset();
+        assert_eq!(m.stats().total(), 0);
+        assert_eq!(m.stats().row_hit_rate(), 0.0);
+        // After reset the next access is a miss again.
+        assert_eq!(m.access(0, false), 6);
+        assert_eq!(m.node(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Statistics collected by the cycle-level simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate results of one simulation run.
+///
+/// Latency statistics only cover packets injected after the warm-up period;
+/// energy counters cover the measured (post-warm-up) phase as well.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimulationStats {
+    /// Number of cycles simulated (including warm-up).
+    pub cycles: u64,
+    /// Number of active nodes in the simulated network.
+    pub active_nodes: usize,
+    /// Packets injected during the measured phase.
+    pub injected: u64,
+    /// Packets delivered (ejected at their destination) during the measured
+    /// phase.
+    pub delivered: u64,
+    /// Read/write requests that received their reply during the measured
+    /// phase (only meaningful in request-reply mode).
+    pub completed_requests: u64,
+    /// Sum of per-packet network latencies (inject to eject), in cycles.
+    pub total_latency_cycles: u64,
+    /// Maximum observed per-packet network latency, in cycles.
+    pub max_latency_cycles: u64,
+    /// Sum of request round-trip latencies (request issue to reply delivery),
+    /// in cycles.
+    pub total_round_trip_cycles: u64,
+    /// Sum of hops over delivered packets.
+    pub total_hops: u64,
+    /// Dynamic network energy spent, in picojoules.
+    pub network_energy_pj: f64,
+    /// Dynamic DRAM access energy spent, in picojoules.
+    pub dram_energy_pj: f64,
+    /// Packets still queued or in flight when the simulation ended.
+    pub in_flight_at_end: u64,
+    /// Packets waiting in injection queues when the simulation ended.
+    pub backlog_at_end: u64,
+    /// Forwarding decisions that could not be made because the output was
+    /// busy or had no credit (a congestion indicator).
+    pub blocked_forwards: u64,
+}
+
+impl SimulationStats {
+    /// Average packet network latency in cycles (0 when nothing was
+    /// delivered).
+    #[must_use]
+    pub fn average_latency_cycles(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency_cycles as f64 / self.delivered as f64
+        }
+    }
+
+    /// Average request round-trip latency in cycles (0 when no requests
+    /// completed).
+    #[must_use]
+    pub fn average_round_trip_cycles(&self) -> f64 {
+        if self.completed_requests == 0 {
+            0.0
+        } else {
+            self.total_round_trip_cycles as f64 / self.completed_requests as f64
+        }
+    }
+
+    /// Average hop count of delivered packets.
+    #[must_use]
+    pub fn average_hops(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.delivered as f64
+        }
+    }
+
+    /// Delivered packets per node per cycle (the accepted throughput).
+    #[must_use]
+    pub fn accepted_throughput(&self, measured_cycles: u64) -> f64 {
+        if measured_cycles == 0 || self.active_nodes == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / (measured_cycles as f64 * self.active_nodes as f64)
+        }
+    }
+
+    /// Fraction of injected packets that were delivered by the end of the run.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.injected as f64
+        }
+    }
+
+    /// Total dynamic energy (network plus DRAM), in picojoules.
+    #[must_use]
+    pub fn total_energy_pj(&self) -> f64 {
+        self.network_energy_pj + self.dram_energy_pj
+    }
+
+    /// Energy-delay product using average round-trip latency (falls back to
+    /// network latency when no requests completed), in pJ·cycles.
+    #[must_use]
+    pub fn energy_delay_product(&self) -> f64 {
+        let delay = if self.completed_requests > 0 {
+            self.average_round_trip_cycles()
+        } else {
+            self.average_latency_cycles()
+        };
+        self.total_energy_pj() * delay
+    }
+
+    /// A simple saturation heuristic: the network is considered saturated when
+    /// a large backlog of packets never made it out of the injection queues or
+    /// the delivery ratio collapsed.
+    #[must_use]
+    pub fn is_saturated(&self) -> bool {
+        if self.injected == 0 {
+            return false;
+        }
+        let backlog_ratio = self.backlog_at_end as f64 / self.injected as f64;
+        backlog_ratio > 0.10 || self.delivery_ratio() < 0.75
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimulationStats {
+        SimulationStats {
+            cycles: 1000,
+            active_nodes: 10,
+            injected: 100,
+            delivered: 90,
+            completed_requests: 40,
+            total_latency_cycles: 900,
+            max_latency_cycles: 50,
+            total_round_trip_cycles: 2000,
+            total_hops: 270,
+            network_energy_pj: 1000.0,
+            dram_energy_pj: 500.0,
+            in_flight_at_end: 10,
+            backlog_at_end: 0,
+            blocked_forwards: 5,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = stats();
+        assert!((s.average_latency_cycles() - 10.0).abs() < 1e-12);
+        assert!((s.average_round_trip_cycles() - 50.0).abs() < 1e-12);
+        assert!((s.average_hops() - 3.0).abs() < 1e-12);
+        assert!((s.accepted_throughput(900) - 0.01).abs() < 1e-12);
+        assert!((s.delivery_ratio() - 0.9).abs() < 1e-12);
+        assert!((s.total_energy_pj() - 1500.0).abs() < 1e-12);
+        assert!((s.energy_delay_product() - 75_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let s = SimulationStats::default();
+        assert_eq!(s.average_latency_cycles(), 0.0);
+        assert_eq!(s.average_round_trip_cycles(), 0.0);
+        assert_eq!(s.average_hops(), 0.0);
+        assert_eq!(s.accepted_throughput(0), 0.0);
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert!(!s.is_saturated());
+    }
+
+    #[test]
+    fn saturation_heuristic() {
+        let mut s = stats();
+        assert!(!s.is_saturated());
+        s.backlog_at_end = 20;
+        assert!(s.is_saturated());
+        s.backlog_at_end = 0;
+        s.delivered = 50;
+        assert!(s.is_saturated());
+    }
+
+    #[test]
+    fn edp_falls_back_to_network_latency() {
+        let mut s = stats();
+        s.completed_requests = 0;
+        assert!((s.energy_delay_product() - 15_000.0).abs() < 1e-9);
+    }
+}

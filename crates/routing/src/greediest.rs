@@ -1,0 +1,625 @@
+//! String Figure's adaptive greediest routing protocol.
+//!
+//! Forwarding works purely on coordinates (Section III-B):
+//!
+//! 1. The router computes the minimum circular distance (MD) from each usable
+//!    one-hop neighbour to the destination and considers the *improving set*
+//!    `W = { w : MD(w, t) < MD(s, t) }`. Forwarding to a member of `W` makes
+//!    the MD strictly decrease at every hop, which is the progressive,
+//!    distance-reducing property behind the paper's loop-freedom proof
+//!    (Appendix A, Lemmas 1–2, Proposition 3).
+//! 2. Two-hop entries of the routing table refine the choice *within* `W`:
+//!    each improving neighbour is scored by the best MD reachable through it
+//!    in at most one more hop, so the router effectively looks two hops ahead
+//!    without giving up the per-hop progress guarantee.
+//! 3. Adaptive routing diverts only the first hop: among the improving
+//!    neighbours the source prefers an output port whose queue occupancy is
+//!    below the configured threshold (default 50%).
+//! 4. Two virtual channels avoid buffer-dependency deadlocks: a packet uses
+//!    the *up* channel when the destination's coordinate (in the MD-defining
+//!    space) is above the current node's, and the *down* channel otherwise.
+//!
+//! After power gating, the improving set of a router can momentarily be empty
+//! (its ring neighbour in the best space may be offline). The hardware
+//! equivalent would stall until reconfiguration completes; the protocol here
+//! falls back to a breadth-first-search next hop on the live graph and counts
+//! the event, so experiments can report how often the greedy invariant had to
+//! be bypassed.
+
+use crate::protocol::{PortLoadEstimator, RoutingContext, RoutingProtocol};
+use crate::table::{HopCount, RoutingTable};
+use sf_topology::{AdjacencyGraph, StringFigureTopology, VirtualSpaces};
+use sf_types::{
+    minimum_circular_distance, CoordinateVector, NodeId, SfError, SfResult, VirtualChannelId,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tuning knobs of the greediest protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreediestOptions {
+    /// Use two-hop routing-table entries to refine the choice among improving
+    /// neighbours (the paper's default, per its sensitivity study).
+    pub use_two_hop: bool,
+    /// Adapt the first-hop decision to port load.
+    pub adaptive: bool,
+    /// Route on the 7-bit quantised coordinates the hardware table stores
+    /// instead of full precision.
+    pub use_quantized: bool,
+}
+
+impl Default for GreediestOptions {
+    fn default() -> Self {
+        Self {
+            use_two_hop: true,
+            adaptive: true,
+            use_quantized: false,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeCandidates {
+    /// Improvable one-hop neighbours with their coordinate vectors.
+    one_hop: Vec<(NodeId, CoordinateVector)>,
+    /// Two-hop targets as (via one-hop neighbour, target, target coordinates).
+    two_hop: Vec<(NodeId, NodeId, CoordinateVector)>,
+}
+
+/// The greediest routing protocol over a String Figure (or S2) topology.
+///
+/// # Examples
+///
+/// ```
+/// use sf_routing::{GreediestRouting, trace_route};
+/// use sf_topology::StringFigureTopology;
+/// use sf_types::{NetworkConfig, NodeId};
+///
+/// let topo = StringFigureTopology::generate(&NetworkConfig::new(64, 4)?)?;
+/// let routing = GreediestRouting::new(&topo);
+/// let route = trace_route(&routing, NodeId::new(3), NodeId::new(40), 64)?;
+/// assert!(!route.has_loop());
+/// assert!(route.hops() <= 12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct GreediestRouting {
+    options: GreediestOptions,
+    tables: Vec<RoutingTable>,
+    candidates: Vec<NodeCandidates>,
+    coordinates: Vec<CoordinateVector>,
+    active: Vec<bool>,
+    adjacency: Vec<Vec<NodeId>>,
+    fallback_routes: AtomicU64,
+    decisions: AtomicU64,
+}
+
+impl GreediestRouting {
+    /// Builds the protocol state (all per-router tables) for a String Figure
+    /// topology with default options.
+    #[must_use]
+    pub fn new(topology: &StringFigureTopology) -> Self {
+        Self::with_options(topology, GreediestOptions::default())
+    }
+
+    /// Builds the protocol state with explicit options.
+    #[must_use]
+    pub fn with_options(topology: &StringFigureTopology, options: GreediestOptions) -> Self {
+        Self::from_parts(topology.graph(), topology.spaces(), options)
+    }
+
+    /// Builds the protocol from a raw graph plus virtual spaces (also used for
+    /// the S2 baseline, which shares the coordinate structure).
+    #[must_use]
+    pub fn from_parts(
+        graph: &AdjacencyGraph,
+        spaces: &VirtualSpaces,
+        options: GreediestOptions,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let mut tables = Vec::with_capacity(n);
+        let mut candidates = Vec::with_capacity(n);
+        for i in 0..n {
+            let table = RoutingTable::build(NodeId::new(i), graph, spaces);
+            candidates.push(Self::collect_candidates(&table, options.use_quantized));
+            tables.push(table);
+        }
+        Self {
+            options,
+            tables,
+            candidates,
+            coordinates: spaces.all_coordinates().to_vec(),
+            active: (0..n).map(|i| graph.is_active(NodeId::new(i))).collect(),
+            adjacency: (0..n)
+                .map(|i| graph.active_neighbors(NodeId::new(i)))
+                .collect(),
+            fallback_routes: AtomicU64::new(0),
+            decisions: AtomicU64::new(0),
+        }
+    }
+
+    fn collect_candidates(table: &RoutingTable, use_quantized: bool) -> NodeCandidates {
+        let mut one_hop = Vec::new();
+        let mut two_hop = Vec::new();
+        for cand in table.candidates(use_quantized) {
+            match cand.hop {
+                HopCount::One => one_hop.push((cand.node, cand.coordinates)),
+                HopCount::Two => two_hop.push((cand.via, cand.node, cand.coordinates)),
+            }
+        }
+        NodeCandidates { one_hop, two_hop }
+    }
+
+    /// Rebuilds all routing state from the (possibly reconfigured) topology.
+    /// The paper performs the equivalent by flipping blocking/valid/hop bits
+    /// in the affected routers; rebuilding gives the same end state.
+    pub fn resync(&mut self, graph: &AdjacencyGraph, spaces: &VirtualSpaces) {
+        let refreshed = Self::from_parts(graph, spaces, self.options);
+        self.tables = refreshed.tables;
+        self.candidates = refreshed.candidates;
+        self.coordinates = refreshed.coordinates;
+        self.active = refreshed.active;
+        self.adjacency = refreshed.adjacency;
+    }
+
+    /// The per-router routing tables (for storage-cost studies).
+    #[must_use]
+    pub fn tables(&self) -> &[RoutingTable] {
+        &self.tables
+    }
+
+    /// The options this protocol instance was built with.
+    #[must_use]
+    pub fn options(&self) -> &GreediestOptions {
+        &self.options
+    }
+
+    /// Number of forwarding decisions that had to fall back to BFS because no
+    /// improving neighbour existed (0 on an un-gated String Figure topology).
+    #[must_use]
+    pub fn fallback_count(&self) -> u64 {
+        self.fallback_routes.load(Ordering::Relaxed)
+    }
+
+    /// Total number of forwarding decisions made.
+    #[must_use]
+    pub fn decision_count(&self) -> u64 {
+        self.decisions.load(Ordering::Relaxed)
+    }
+
+    /// Minimum circular distance between two nodes' coordinate vectors.
+    #[must_use]
+    pub fn md(&self, a: NodeId, b: NodeId) -> f64 {
+        minimum_circular_distance(&self.coordinates[a.index()], &self.coordinates[b.index()])
+    }
+
+    fn check(&self, node: NodeId) -> SfResult<()> {
+        if node.index() >= self.coordinates.len() {
+            return Err(SfError::UnknownNode {
+                node: node.index(),
+                network_size: self.coordinates.len(),
+            });
+        }
+        if !self.active[node.index()] {
+            return Err(SfError::NodeOffline { node: node.index() });
+        }
+        Ok(())
+    }
+
+    /// BFS escape hatch used when the greedy improving set is empty (only
+    /// possible transiently after reconfiguration).
+    fn bfs_next_hop(&self, at: NodeId, dest: NodeId) -> SfResult<NodeId> {
+        let n = self.adjacency.len();
+        let mut prev: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        visited[at.index()] = true;
+        let mut queue = VecDeque::new();
+        queue.push_back(at.index());
+        while let Some(cur) = queue.pop_front() {
+            if cur == dest.index() {
+                // Walk back to the first hop.
+                let mut hop = cur;
+                while let Some(p) = prev[hop] {
+                    if p == at.index() {
+                        return Ok(NodeId::new(hop));
+                    }
+                    hop = p;
+                }
+                return Ok(NodeId::new(hop));
+            }
+            for next in &self.adjacency[cur] {
+                let ni = next.index();
+                if !visited[ni] && self.active[ni] {
+                    visited[ni] = true;
+                    prev[ni] = Some(cur);
+                    queue.push_back(ni);
+                }
+            }
+        }
+        Err(SfError::RoutingStuck {
+            at: at.index(),
+            destination: dest.index(),
+        })
+    }
+}
+
+impl RoutingProtocol for GreediestRouting {
+    fn name(&self) -> &'static str {
+        if self.options.adaptive {
+            "greediest-adaptive"
+        } else {
+            "greediest"
+        }
+    }
+
+    fn next_hop(
+        &self,
+        at: NodeId,
+        dest: NodeId,
+        loads: &dyn PortLoadEstimator,
+        ctx: &RoutingContext,
+    ) -> SfResult<NodeId> {
+        self.check(at)?;
+        self.check(dest)?;
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if at == dest {
+            return Ok(dest);
+        }
+
+        let dest_coords = &self.coordinates[dest.index()];
+        let current_md = minimum_circular_distance(&self.coordinates[at.index()], dest_coords);
+        let cands = &self.candidates[at.index()];
+
+        // Direct neighbour? Deliver immediately.
+        if cands
+            .one_hop
+            .iter()
+            .any(|(node, _)| *node == dest && self.active[dest.index()])
+        {
+            return Ok(dest);
+        }
+
+        // The improving set W: one-hop neighbours strictly closer to the
+        // destination (in MD) than the current node.
+        let mut improving: Vec<(NodeId, f64)> = cands
+            .one_hop
+            .iter()
+            .filter(|(node, _)| self.active[node.index()])
+            .map(|(node, coords)| (*node, minimum_circular_distance(coords, dest_coords)))
+            .filter(|(_, md)| *md < current_md)
+            .collect();
+
+        if improving.is_empty() {
+            self.fallback_routes.fetch_add(1, Ordering::Relaxed);
+            return self.bfs_next_hop(at, dest);
+        }
+
+        // Score each improving neighbour by the best MD reachable through it
+        // within one more hop (two-hop lookahead), if enabled.
+        let score = |w: NodeId, own_md: f64| -> f64 {
+            if !self.options.use_two_hop {
+                return own_md;
+            }
+            let mut best = own_md;
+            for (via, target, coords) in &cands.two_hop {
+                if *via == w && self.active[target.index()] {
+                    let md = if *target == dest {
+                        0.0
+                    } else {
+                        minimum_circular_distance(coords, dest_coords)
+                    };
+                    if md < best {
+                        best = md;
+                    }
+                }
+            }
+            best
+        };
+
+        improving.sort_by(|a, b| a.0.cmp(&b.0));
+        let scored: Vec<(NodeId, f64, f64)> = improving
+            .iter()
+            .map(|&(w, md)| (w, md, score(w, md)))
+            .collect();
+
+        let best_overall = scored
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite scores"))
+            .expect("improving set is non-empty");
+
+        if self.options.adaptive && ctx.first_hop {
+            // Prefer the best-scored neighbour whose output queue is below the
+            // adaptive threshold; if every improving port is congested, fall
+            // back to the overall best (the paper's behaviour).
+            let under_threshold = scored
+                .iter()
+                .filter(|(w, _, _)| loads.load(at, *w) < ctx.adaptive_threshold)
+                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite scores"));
+            if let Some(choice) = under_threshold {
+                return Ok(choice.0);
+            }
+        }
+        Ok(best_overall.0)
+    }
+
+    fn virtual_channel(&self, at: NodeId, _next: NodeId, dest: NodeId) -> VirtualChannelId {
+        let at_coords = &self.coordinates[at.index()];
+        let dest_coords = &self.coordinates[dest.index()];
+        let (space, _) = at_coords.closest_space(dest_coords);
+        if dest_coords.coordinate(space) >= at_coords.coordinate(space) {
+            VirtualChannelId::UP
+        } else {
+            VirtualChannelId::DOWN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{trace_route, trace_route_with_loads, TableLoad};
+    use sf_topology::spaces::paper_figure3_example;
+    use sf_types::NetworkConfig;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn example() -> (StringFigureTopology, GreediestRouting) {
+        let config = NetworkConfig::new(9, 4).unwrap();
+        let topo =
+            StringFigureTopology::from_spaces(config, paper_figure3_example()).unwrap();
+        let routing = GreediestRouting::new(&topo);
+        (topo, routing)
+    }
+
+    #[test]
+    fn paper_worked_example_routes_7_to_2() {
+        // Figure 6(a): Node-7 forwards a packet for Node-2 to the neighbour
+        // with the smallest MD; the route must reach Node-2 loop-free in a
+        // couple of hops.
+        let (_, routing) = example();
+        let route = trace_route(&routing, n(7), n(2), 9).unwrap();
+        assert_eq!(route.source(), n(7));
+        assert_eq!(route.destination(), n(2));
+        assert!(!route.has_loop());
+        assert!(route.hops() <= 3, "route {:?}", route.path);
+        // Every hop strictly reduces the MD to the destination.
+        for w in route.path.windows(2) {
+            assert!(routing.md(w[1], n(2)) < routing.md(w[0], n(2)) || w[1] == n(2));
+        }
+    }
+
+    #[test]
+    fn all_pairs_loop_free_on_small_network() {
+        let (_, routing) = example();
+        for s in 0..9 {
+            for t in 0..9 {
+                let route = trace_route(&routing, n(s), n(t), 9).unwrap();
+                assert!(!route.has_loop(), "{s}->{t}: {:?}", route.path);
+                assert_eq!(route.destination(), n(t));
+            }
+        }
+        assert_eq!(routing.fallback_count(), 0);
+    }
+
+    #[test]
+    fn loop_free_on_generated_networks() {
+        for &(nodes, ports, seed) in &[(61usize, 4usize, 1u64), (128, 4, 2), (200, 8, 3)] {
+            let config = NetworkConfig::new(nodes, ports).unwrap().with_seed(seed);
+            let topo = StringFigureTopology::generate(&config).unwrap();
+            let routing = GreediestRouting::new(&topo);
+            let mut max_hops = 0;
+            for s in (0..nodes).step_by(7) {
+                for t in (0..nodes).step_by(11) {
+                    let route = trace_route(&routing, n(s), n(t), nodes).unwrap();
+                    assert!(!route.has_loop(), "N={nodes} {s}->{t}");
+                    max_hops = max_hops.max(route.hops());
+                }
+            }
+            assert!(
+                max_hops <= 3 * ports,
+                "N={nodes}: greedy route of {max_hops} hops is suspiciously long"
+            );
+            assert_eq!(routing.fallback_count(), 0, "N={nodes}");
+        }
+    }
+
+    #[test]
+    fn md_matches_manual_computation() {
+        let (topo, routing) = example();
+        let a = topo.coordinates(n(7));
+        let b = topo.coordinates(n(2));
+        assert!((routing.md(n(7), n(2)) - minimum_circular_distance(a, b)).abs() < 1e-12);
+        assert_eq!(routing.md(n(3), n(3)), 0.0);
+    }
+
+    #[test]
+    fn direct_neighbor_is_delivered_immediately() {
+        let (topo, routing) = example();
+        let neighbor = topo.graph().active_neighbors(n(0))[0];
+        let hop = routing
+            .next_hop(n(0), neighbor, &crate::protocol::ZeroLoad, &RoutingContext::default())
+            .unwrap();
+        assert_eq!(hop, neighbor);
+    }
+
+    #[test]
+    fn self_destination_returns_self() {
+        let (_, routing) = example();
+        let hop = routing
+            .next_hop(n(4), n(4), &crate::protocol::ZeroLoad, &RoutingContext::default())
+            .unwrap();
+        assert_eq!(hop, n(4));
+    }
+
+    #[test]
+    fn unknown_and_offline_nodes_are_rejected() {
+        let config = NetworkConfig::new(16, 4).unwrap();
+        let mut topo = StringFigureTopology::generate(&config).unwrap();
+        topo.gate_node(n(5)).unwrap();
+        let routing = GreediestRouting::new(&topo);
+        let ctx = RoutingContext::default();
+        assert!(matches!(
+            routing.next_hop(n(0), n(99), &crate::protocol::ZeroLoad, &ctx),
+            Err(SfError::UnknownNode { .. })
+        ));
+        assert!(matches!(
+            routing.next_hop(n(0), n(5), &crate::protocol::ZeroLoad, &ctx),
+            Err(SfError::NodeOffline { .. })
+        ));
+        assert!(matches!(
+            routing.next_hop(n(5), n(0), &crate::protocol::ZeroLoad, &ctx),
+            Err(SfError::NodeOffline { .. })
+        ));
+    }
+
+    #[test]
+    fn routing_still_works_after_gating_with_resync() {
+        let config = NetworkConfig::new(64, 4).unwrap();
+        let mut topo = StringFigureTopology::generate(&config).unwrap();
+        for i in [3usize, 17, 31, 45] {
+            topo.gate_node(n(i)).unwrap();
+        }
+        let mut routing = GreediestRouting::new(&topo);
+        routing.resync(topo.graph(), topo.spaces());
+        let live: Vec<usize> = (0..64).filter(|i| !topo.is_gated(n(*i))).collect();
+        for &s in live.iter().step_by(5) {
+            for &t in live.iter().step_by(7) {
+                let route = trace_route(&routing, n(s), n(t), 64).unwrap();
+                assert!(!route.has_loop());
+                assert_eq!(route.destination(), n(t));
+                // Gated nodes never appear on a route.
+                for hop in &route.path {
+                    assert!(!topo.is_gated(*hop));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_first_hop_avoids_congested_port() {
+        let (_, routing) = example();
+        // Find a source/destination with at least two improving neighbours.
+        let mut found = false;
+        'outer: for s in 0..9 {
+            for t in 0..9 {
+                if s == t {
+                    continue;
+                }
+                let ctx = RoutingContext::default();
+                let idle_choice = routing
+                    .next_hop(n(s), n(t), &crate::protocol::ZeroLoad, &ctx)
+                    .unwrap();
+                if idle_choice == n(t) {
+                    continue;
+                }
+                // Congest the idle choice and see whether the router diverts.
+                let mut loads = TableLoad::new();
+                loads.set(n(s), idle_choice, 0.9);
+                let diverted = routing.next_hop(n(s), n(t), &loads, &ctx).unwrap();
+                if diverted != idle_choice {
+                    found = true;
+                    // The diverted hop must still make greedy progress.
+                    assert!(routing.md(diverted, n(t)) < routing.md(n(s), n(t)));
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no source/destination pair exercised path diversity");
+    }
+
+    #[test]
+    fn adaptive_divergence_only_on_first_hop() {
+        let (_, routing) = example();
+        let mut loads = TableLoad::new();
+        for s in 0..9 {
+            for t in 0..9 {
+                loads.set(n(s), n(t), 0.9);
+            }
+        }
+        // With every port congested the router falls back to the pure
+        // greediest choice, so routes still complete loop-free.
+        for s in 0..9 {
+            for t in 0..9 {
+                let route = trace_route_with_loads(&routing, n(s), n(t), 9, &loads).unwrap();
+                assert!(!route.has_loop());
+            }
+        }
+    }
+
+    #[test]
+    fn non_adaptive_and_one_hop_only_options() {
+        let config = NetworkConfig::new(100, 4).unwrap();
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        let plain = GreediestRouting::with_options(
+            &topo,
+            GreediestOptions {
+                use_two_hop: false,
+                adaptive: false,
+                use_quantized: false,
+            },
+        );
+        assert_eq!(plain.name(), "greediest");
+        let with_two_hop = GreediestRouting::new(&topo);
+        assert_eq!(with_two_hop.name(), "greediest-adaptive");
+        let mut total_plain = 0usize;
+        let mut total_two_hop = 0usize;
+        for s in (0..100).step_by(9) {
+            for t in (0..100).step_by(13) {
+                total_plain += trace_route(&plain, n(s), n(t), 100).unwrap().hops();
+                total_two_hop += trace_route(&with_two_hop, n(s), n(t), 100).unwrap().hops();
+            }
+        }
+        // Two-hop lookahead should never be worse on aggregate.
+        assert!(total_two_hop <= total_plain);
+    }
+
+    #[test]
+    fn quantized_routing_still_loop_free() {
+        let config = NetworkConfig::new(128, 4).unwrap();
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        let routing = GreediestRouting::with_options(
+            &topo,
+            GreediestOptions {
+                use_two_hop: true,
+                adaptive: false,
+                use_quantized: true,
+            },
+        );
+        for s in (0..128).step_by(11) {
+            for t in (0..128).step_by(17) {
+                let route = trace_route(&routing, n(s), n(t), 128).unwrap();
+                assert!(!route.has_loop());
+                assert_eq!(route.destination(), n(t));
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_channel_follows_coordinate_direction() {
+        let (topo, routing) = example();
+        for s in 0..9 {
+            for t in 0..9 {
+                if s == t {
+                    continue;
+                }
+                let vc = routing.virtual_channel(n(s), n(t), n(t));
+                let (space, _) = topo
+                    .coordinates(n(s))
+                    .closest_space(topo.coordinates(n(t)));
+                let up = topo.coordinates(n(t)).coordinate(space)
+                    >= topo.coordinates(n(s)).coordinate(space);
+                assert_eq!(vc == VirtualChannelId::UP, up);
+            }
+        }
+    }
+
+    #[test]
+    fn decision_counters_advance() {
+        let (_, routing) = example();
+        let before = routing.decision_count();
+        let _ = trace_route(&routing, n(0), n(8), 9).unwrap();
+        assert!(routing.decision_count() > before);
+    }
+}

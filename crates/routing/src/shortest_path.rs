@@ -1,0 +1,313 @@
+//! Look-up-table shortest-path routing for the structured baselines.
+//!
+//! Flattened Butterfly / Adapted FB use "minimal + adaptive" routing and
+//! Jellyfish-style random graphs use k-shortest-path tables (Figure 8). Both
+//! are modelled here by a per-destination next-hop table computed with
+//! breadth-first search: every router stores, for every destination, the set
+//! of neighbours that lie on *some* shortest path, and the adaptive variant
+//! picks the least-loaded of them at each hop.
+//!
+//! The point the paper makes about this class of protocols is their storage
+//! cost: the table has `O(N)` entries per router (times the path diversity),
+//! in contrast to String Figure's `O(p^2)` entries. [`ShortestPathRouting::
+//! storage_entries`] exposes that cost so the routing-overhead comparison can
+//! be reproduced.
+
+use crate::protocol::{PortLoadEstimator, RoutingContext, RoutingProtocol};
+use sf_topology::AdjacencyGraph;
+use sf_types::{NodeId, SfError, SfResult, VirtualChannelId};
+use std::collections::VecDeque;
+
+/// Minimal (shortest-path) table routing with optional adaptive selection
+/// among equal-progress next hops.
+///
+/// # Examples
+///
+/// ```
+/// use sf_routing::{ShortestPathRouting, trace_route};
+/// use sf_topology::{baselines::MemoryNetworkTopology, FlattenedButterfly};
+/// use sf_types::NodeId;
+///
+/// let fb = FlattenedButterfly::full(64)?;
+/// let routing = ShortestPathRouting::new(fb.graph(), "fb-minimal-adaptive");
+/// let route = trace_route(&routing, NodeId::new(0), NodeId::new(63), 64)?;
+/// assert!(route.hops() <= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ShortestPathRouting {
+    name: &'static str,
+    num_nodes: usize,
+    active: Vec<bool>,
+    /// `distance[dest][node]` = hops from `node` to `dest` (u32::MAX if
+    /// unreachable).
+    distance: Vec<Vec<u32>>,
+    /// `next_hops[dest][node]` = neighbours of `node` on a shortest path
+    /// towards `dest`.
+    next_hops: Vec<Vec<Vec<NodeId>>>,
+    adaptive: bool,
+}
+
+impl ShortestPathRouting {
+    /// Builds the routing tables (BFS from every destination) for the active
+    /// subgraph of `graph`.
+    #[must_use]
+    pub fn new(graph: &AdjacencyGraph, name: &'static str) -> Self {
+        Self::with_adaptivity(graph, name, true)
+    }
+
+    /// Builds the routing tables with or without adaptive next-hop selection.
+    #[must_use]
+    pub fn with_adaptivity(graph: &AdjacencyGraph, name: &'static str, adaptive: bool) -> Self {
+        let n = graph.num_nodes();
+        let active: Vec<bool> = (0..n).map(|i| graph.is_active(NodeId::new(i))).collect();
+        let adjacency: Vec<Vec<NodeId>> = (0..n)
+            .map(|i| graph.active_neighbors(NodeId::new(i)))
+            .collect();
+
+        let mut distance = vec![vec![u32::MAX; n]; n];
+        let mut next_hops = vec![vec![Vec::new(); n]; n];
+        for dest in 0..n {
+            if !active[dest] {
+                continue;
+            }
+            let dist = &mut distance[dest];
+            dist[dest] = 0;
+            let mut queue = VecDeque::new();
+            queue.push_back(dest);
+            while let Some(cur) = queue.pop_front() {
+                for nb in &adjacency[cur] {
+                    let ni = nb.index();
+                    if dist[ni] == u32::MAX {
+                        dist[ni] = dist[cur] + 1;
+                        queue.push_back(ni);
+                    }
+                }
+            }
+            // A neighbour is a valid next hop towards `dest` if it is strictly
+            // closer to `dest`.
+            for node in 0..n {
+                if !active[node] || dist[node] == u32::MAX || node == dest {
+                    continue;
+                }
+                let hops: Vec<NodeId> = adjacency[node]
+                    .iter()
+                    .filter(|nb| dist[nb.index()] < dist[node])
+                    .copied()
+                    .collect();
+                next_hops[dest][node] = hops;
+            }
+        }
+        Self {
+            name,
+            num_nodes: n,
+            active,
+            distance,
+            next_hops,
+            adaptive,
+        }
+    }
+
+    /// Hop distance from `from` to `to`, if reachable.
+    #[must_use]
+    pub fn distance(&self, from: NodeId, to: NodeId) -> Option<u32> {
+        let d = self.distance[to.index()][from.index()];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Total number of (router, destination, next-hop) entries stored across
+    /// the network — the forwarding-state cost the paper contrasts with
+    /// String Figure's constant-size tables.
+    #[must_use]
+    pub fn storage_entries(&self) -> u64 {
+        self.next_hops
+            .iter()
+            .flat_map(|per_dest| per_dest.iter())
+            .map(|hops| hops.len() as u64)
+            .sum()
+    }
+
+    fn check(&self, node: NodeId) -> SfResult<()> {
+        if node.index() >= self.num_nodes {
+            return Err(SfError::UnknownNode {
+                node: node.index(),
+                network_size: self.num_nodes,
+            });
+        }
+        if !self.active[node.index()] {
+            return Err(SfError::NodeOffline { node: node.index() });
+        }
+        Ok(())
+    }
+}
+
+impl RoutingProtocol for ShortestPathRouting {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_hop(
+        &self,
+        at: NodeId,
+        dest: NodeId,
+        loads: &dyn PortLoadEstimator,
+        ctx: &RoutingContext,
+    ) -> SfResult<NodeId> {
+        self.check(at)?;
+        self.check(dest)?;
+        if at == dest {
+            return Ok(dest);
+        }
+        let options = &self.next_hops[dest.index()][at.index()];
+        if options.is_empty() {
+            return Err(SfError::RoutingStuck {
+                at: at.index(),
+                destination: dest.index(),
+            });
+        }
+        if self.adaptive {
+            if let Some(&nb) = options
+                .iter()
+                .find(|&&nb| loads.load(at, nb) < ctx.adaptive_threshold)
+            {
+                return Ok(nb);
+            }
+        }
+        Ok(options[0])
+    }
+
+    fn virtual_channel(&self, at: NodeId, _next: NodeId, dest: NodeId) -> VirtualChannelId {
+        if dest.index() >= at.index() {
+            VirtualChannelId::UP
+        } else {
+            VirtualChannelId::DOWN
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{trace_route, TableLoad, ZeroLoad};
+    use sf_topology::{FlattenedButterfly, JellyfishTopology, MemoryNetworkTopology};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn routes_are_shortest_on_fb() {
+        let fb = FlattenedButterfly::full(36).unwrap();
+        let routing = ShortestPathRouting::new(fb.graph(), "fb");
+        for s in 0..36 {
+            for t in 0..36 {
+                let route = trace_route(&routing, n(s), n(t), 36).unwrap();
+                assert_eq!(route.hops() as u32, routing.distance(n(s), n(t)).unwrap());
+                assert!(!route.has_loop());
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_shortest_on_jellyfish() {
+        let jelly = JellyfishTopology::generate(80, 4, 5).unwrap();
+        let routing = ShortestPathRouting::new(jelly.graph(), "jellyfish-ksp");
+        for s in (0..80).step_by(3) {
+            for t in (0..80).step_by(7) {
+                let route = trace_route(&routing, n(s), n(t), 80).unwrap();
+                assert_eq!(route.hops() as u32, routing.distance(n(s), n(t)).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn storage_grows_with_network_size() {
+        let small = JellyfishTopology::generate(50, 4, 1).unwrap();
+        let large = JellyfishTopology::generate(200, 4, 1).unwrap();
+        let small_entries =
+            ShortestPathRouting::new(small.graph(), "jf").storage_entries() as f64 / 50.0;
+        let large_entries =
+            ShortestPathRouting::new(large.graph(), "jf").storage_entries() as f64 / 200.0;
+        // Per-router forwarding state grows roughly linearly with N, unlike
+        // String Figure's constant-size tables.
+        assert!(large_entries > 2.5 * small_entries);
+    }
+
+    #[test]
+    fn adaptive_selection_diverts_under_load() {
+        let fb = FlattenedButterfly::full(16).unwrap();
+        let routing = ShortestPathRouting::new(fb.graph(), "fb");
+        let ctx = RoutingContext::default();
+        // Find a pair with at least two minimal next hops.
+        let mut exercised = false;
+        for s in 0..16 {
+            for t in 0..16 {
+                if s == t {
+                    continue;
+                }
+                let first = routing.next_hop(n(s), n(t), &ZeroLoad, &ctx).unwrap();
+                let mut loads = TableLoad::new();
+                loads.set(n(s), first, 0.95);
+                let second = routing.next_hop(n(s), n(t), &loads, &ctx).unwrap();
+                if second != first {
+                    exercised = true;
+                    assert_eq!(
+                        routing.distance(n(second.index()), n(t)),
+                        routing.distance(n(first.index()), n(t)),
+                        "diverted hop must still be minimal"
+                    );
+                }
+            }
+        }
+        assert!(exercised);
+    }
+
+    #[test]
+    fn non_adaptive_is_deterministic() {
+        let fb = FlattenedButterfly::full(16).unwrap();
+        let routing = ShortestPathRouting::with_adaptivity(fb.graph(), "fb", false);
+        let ctx = RoutingContext::default();
+        let choice = routing.next_hop(n(0), n(15), &ZeroLoad, &ctx).unwrap();
+        let mut loads = TableLoad::new();
+        loads.set(n(0), choice, 0.99);
+        assert_eq!(routing.next_hop(n(0), n(15), &loads, &ctx).unwrap(), choice);
+    }
+
+    #[test]
+    fn gated_nodes_are_avoided() {
+        let jelly = JellyfishTopology::generate(40, 4, 2).unwrap();
+        let mut graph = jelly.graph().clone();
+        graph.set_active(n(7), false).unwrap();
+        let routing = ShortestPathRouting::new(&graph, "jf");
+        let ctx = RoutingContext::default();
+        assert!(matches!(
+            routing.next_hop(n(7), n(3), &ZeroLoad, &ctx),
+            Err(SfError::NodeOffline { .. })
+        ));
+        for s in (0..40).step_by(3) {
+            if s == 7 {
+                continue;
+            }
+            for t in (0..40).step_by(5) {
+                if t == 7 || t == s {
+                    continue;
+                }
+                let route = trace_route(&routing, n(s), n(t), 40).unwrap();
+                assert!(!route.path.contains(&n(7)));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_node_rejected_and_self_route() {
+        let fb = FlattenedButterfly::full(9).unwrap();
+        let routing = ShortestPathRouting::new(fb.graph(), "fb");
+        let ctx = RoutingContext::default();
+        assert!(routing.next_hop(n(0), n(100), &ZeroLoad, &ctx).is_err());
+        assert_eq!(routing.next_hop(n(4), n(4), &ZeroLoad, &ctx).unwrap(), n(4));
+        assert_eq!(routing.distance(n(4), n(4)), Some(0));
+        // Nodes 0 and 8 share neither a row nor a column on the 3x3 grid, so
+        // the minimal path is exactly two hops.
+        assert_eq!(routing.distance(n(0), n(8)), Some(2));
+    }
+}

@@ -1,0 +1,186 @@
+//! Jellyfish: a sufficiently-uniform random regular graph baseline.
+//!
+//! Jellyfish (Singla et al., NSDI'12) interconnects switches as a random
+//! `r`-regular graph and showed that such graphs achieve near-optimal
+//! throughput and path lengths. The paper uses it in Figure 5 as the reference
+//! for "sufficiently uniform random graphs" when arguing that String Figure's
+//! constructed topology has the same path-length scaling.
+//!
+//! The construction here follows Jellyfish's incremental procedure: repeatedly
+//! connect random pairs of nodes that both have free ports and are not yet
+//! connected; when the process gets stuck with free ports remaining, break an
+//! existing random edge and splice the stuck node into it.
+
+use crate::baselines::MemoryNetworkTopology;
+use crate::graph::{AdjacencyGraph, EdgeKind};
+use serde::{Deserialize, Serialize};
+use sf_types::{DeterministicRng, NodeId, SfError, SfResult};
+
+/// A random `r`-regular (or nearly regular) graph topology.
+///
+/// # Examples
+///
+/// ```
+/// use sf_topology::baselines::{JellyfishTopology, MemoryNetworkTopology};
+///
+/// let jelly = JellyfishTopology::generate(100, 4, 7)?;
+/// assert_eq!(jelly.num_nodes(), 100);
+/// assert!(jelly.graph().is_connected());
+/// assert!(jelly.graph().max_degree() <= 4);
+/// # Ok::<(), sf_types::SfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JellyfishTopology {
+    degree: usize,
+    seed: u64,
+    graph: AdjacencyGraph,
+}
+
+impl JellyfishTopology {
+    /// Generates a random graph over `nodes` nodes where every node has (at
+    /// most, and almost always exactly) `degree` links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfError::InvalidConfiguration`] if fewer than `degree + 1`
+    /// nodes are requested or `degree < 2`.
+    pub fn generate(nodes: usize, degree: usize, seed: u64) -> SfResult<Self> {
+        if degree < 2 {
+            return Err(SfError::InvalidConfiguration {
+                reason: format!("jellyfish needs degree of at least 2, got {degree}"),
+            });
+        }
+        if nodes <= degree {
+            return Err(SfError::InvalidConfiguration {
+                reason: format!(
+                    "jellyfish with degree {degree} needs more than {degree} nodes, got {nodes}"
+                ),
+            });
+        }
+        let mut rng = DeterministicRng::new(seed);
+        let mut graph = AdjacencyGraph::new(nodes);
+        let free = |g: &AdjacencyGraph, v: usize| degree.saturating_sub(g.degree(NodeId::new(v)));
+
+        // Phase 1: connect random non-adjacent pairs with free ports.
+        let mut stall = 0usize;
+        while stall < nodes * degree * 4 {
+            let candidates: Vec<usize> = (0..nodes).filter(|&v| free(&graph, v) > 0).collect();
+            if candidates.len() < 2 {
+                break;
+            }
+            let u = candidates[rng.next_index(candidates.len())];
+            let v = candidates[rng.next_index(candidates.len())];
+            if u == v || graph.has_edge(NodeId::new(u), NodeId::new(v)) {
+                stall += 1;
+                continue;
+            }
+            graph.add_edge(NodeId::new(u), NodeId::new(v), EdgeKind::Structured)?;
+            stall = 0;
+        }
+
+        // Phase 2: splice any node that still has two or more free ports into
+        // a random existing edge (Jellyfish's incremental-expansion step).
+        for v in 0..nodes {
+            let mut guard = 0;
+            while free(&graph, v) >= 2 && guard < 100 {
+                guard += 1;
+                let edges = graph.active_edges();
+                if edges.is_empty() {
+                    break;
+                }
+                let e = edges[rng.next_index(edges.len())];
+                if e.a.index() == v
+                    || e.b.index() == v
+                    || graph.has_edge(NodeId::new(v), e.a)
+                    || graph.has_edge(NodeId::new(v), e.b)
+                {
+                    continue;
+                }
+                graph.remove_edge(e.a, e.b);
+                graph.add_edge(NodeId::new(v), e.a, EdgeKind::Structured)?;
+                graph.add_edge(NodeId::new(v), e.b, EdgeKind::Structured)?;
+            }
+        }
+
+        Ok(Self {
+            degree,
+            seed,
+            graph,
+        })
+    }
+
+    /// The target degree `r` of the random regular graph.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Seed used to generate this topology.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl MemoryNetworkTopology for JellyfishTopology {
+    fn name(&self) -> &'static str {
+        "Jellyfish"
+    }
+
+    fn graph(&self) -> &AdjacencyGraph {
+        &self.graph
+    }
+
+    fn router_ports(&self) -> usize {
+        self.degree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::average_shortest_path_length;
+
+    #[test]
+    fn generates_connected_nearly_regular_graph() {
+        for &(n, r) in &[(20, 3), (100, 4), (200, 8)] {
+            let j = JellyfishTopology::generate(n, r, 1).unwrap();
+            assert!(j.graph().is_connected(), "N={n} r={r}");
+            assert!(j.graph().max_degree() <= r);
+            // Almost every node should reach full degree.
+            let full = (0..n)
+                .filter(|&v| j.graph().degree(NodeId::new(v)) == r)
+                .count();
+            assert!(full * 10 >= n * 9, "only {full}/{n} nodes at full degree");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = JellyfishTopology::generate(64, 4, 9).unwrap();
+        let b = JellyfishTopology::generate(64, 4, 9).unwrap();
+        assert_eq!(a, b);
+        let c = JellyfishTopology::generate(64, 4, 10).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(a.seed(), 9);
+        assert_eq!(a.degree(), 4);
+    }
+
+    #[test]
+    fn path_length_scales_logarithmically() {
+        let small = JellyfishTopology::generate(100, 8, 3).unwrap();
+        let large = JellyfishTopology::generate(800, 8, 3).unwrap();
+        let a = average_shortest_path_length(small.graph());
+        let b = average_shortest_path_length(large.graph());
+        // 8x more nodes should cost far less than 2x the path length.
+        assert!(b < 1.8 * a, "small {a}, large {b}");
+        assert!(b < 5.0);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        assert!(JellyfishTopology::generate(4, 1, 0).is_err());
+        assert!(JellyfishTopology::generate(4, 4, 0).is_err());
+        assert!(JellyfishTopology::generate(5, 4, 0).is_ok());
+    }
+}

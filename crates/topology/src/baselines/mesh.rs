@@ -1,0 +1,233 @@
+//! Distributed Mesh (DM) and Optimized Distributed Mesh (ODM) baselines.
+//!
+//! Earlier memory-network studies (Kim et al., Zhan et al.) found the
+//! distributed 2D mesh to be the strongest conventional topology at small
+//! scales, so the paper uses it as its primary baseline. The *optimized*
+//! variant (ODM) adds express links that skip over `express_interval` nodes in
+//! each dimension, increasing bisection bandwidth to match String Figure's at
+//! each network scale without changing the basic 4-port structure.
+
+use crate::baselines::MemoryNetworkTopology;
+use crate::graph::{AdjacencyGraph, EdgeKind};
+use serde::{Deserialize, Serialize};
+use sf_types::{NodeId, SfError, SfResult};
+
+/// A 2D mesh of memory nodes, optionally with express links (ODM).
+///
+/// Nodes are laid out row-major on a near-square `rows x cols` grid; the last
+/// row may be partially filled when the node count is not a perfect rectangle,
+/// which is exactly the "arbitrary network scale" weakness the paper points
+/// out for rigid topologies.
+///
+/// # Examples
+///
+/// ```
+/// use sf_topology::baselines::{MemoryNetworkTopology, MeshTopology};
+///
+/// let mesh = MeshTopology::distributed(16)?;
+/// assert_eq!(mesh.rows(), 4);
+/// assert_eq!(mesh.cols(), 4);
+/// assert_eq!(mesh.router_ports(), 4);
+/// let odm = MeshTopology::optimized(16)?;
+/// assert!(odm.graph().num_edges() > mesh.graph().num_edges());
+/// # Ok::<(), sf_types::SfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeshTopology {
+    rows: usize,
+    cols: usize,
+    graph: AdjacencyGraph,
+    express_interval: Option<usize>,
+    name: &'static str,
+}
+
+impl MeshTopology {
+    /// Builds a plain distributed mesh (DM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfError::InvalidConfiguration`] if fewer than 2 nodes are
+    /// requested.
+    pub fn distributed(nodes: usize) -> SfResult<Self> {
+        Self::build(nodes, None, "DM")
+    }
+
+    /// Builds an optimized distributed mesh (ODM) with express links every
+    /// two nodes in each dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfError::InvalidConfiguration`] if fewer than 2 nodes are
+    /// requested.
+    pub fn optimized(nodes: usize) -> SfResult<Self> {
+        Self::build(nodes, Some(2), "ODM")
+    }
+
+    fn build(nodes: usize, express_interval: Option<usize>, name: &'static str) -> SfResult<Self> {
+        if nodes < 2 {
+            return Err(SfError::InvalidConfiguration {
+                reason: format!("a mesh needs at least 2 nodes, got {nodes}"),
+            });
+        }
+        let cols = (nodes as f64).sqrt().ceil() as usize;
+        let rows = nodes.div_ceil(cols);
+        let mut graph = AdjacencyGraph::new(nodes);
+        let node_at = |r: usize, c: usize| -> Option<NodeId> {
+            let idx = r * cols + c;
+            (r < rows && c < cols && idx < nodes).then(|| NodeId::new(idx))
+        };
+        for r in 0..rows {
+            for c in 0..cols {
+                let Some(u) = node_at(r, c) else { continue };
+                if let Some(v) = node_at(r, c + 1) {
+                    graph.add_edge(u, v, EdgeKind::Structured)?;
+                }
+                if let Some(v) = node_at(r + 1, c) {
+                    graph.add_edge(u, v, EdgeKind::Structured)?;
+                }
+                if let Some(step) = express_interval {
+                    if let Some(v) = node_at(r, c + step) {
+                        graph.add_edge(u, v, EdgeKind::Structured)?;
+                    }
+                    if let Some(v) = node_at(r + step, c) {
+                        graph.add_edge(u, v, EdgeKind::Structured)?;
+                    }
+                }
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            graph,
+            express_interval,
+            name,
+        })
+    }
+
+    /// Number of grid rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of grid columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid coordinates `(row, col)` of a node.
+    #[must_use]
+    pub fn position(&self, node: NodeId) -> (usize, usize) {
+        (node.index() / self.cols, node.index() % self.cols)
+    }
+
+    /// Node at the given grid coordinates, if one exists there.
+    #[must_use]
+    pub fn node_at(&self, row: usize, col: usize) -> Option<NodeId> {
+        let idx = row * self.cols + col;
+        (row < self.rows && col < self.cols && idx < self.graph.num_nodes())
+            .then(|| NodeId::new(idx))
+    }
+
+    /// Express-link interval, if this is an ODM instance.
+    #[must_use]
+    pub fn express_interval(&self) -> Option<usize> {
+        self.express_interval
+    }
+}
+
+impl MemoryNetworkTopology for MeshTopology {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn graph(&self) -> &AdjacencyGraph {
+        &self.graph
+    }
+
+    fn router_ports(&self) -> usize {
+        // 4 mesh ports, plus 4 express ports for ODM.
+        if self.express_interval.is_some() {
+            8
+        } else {
+            4
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{average_shortest_path_length, path_length_stats};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn square_mesh_structure() {
+        let mesh = MeshTopology::distributed(16).unwrap();
+        assert_eq!((mesh.rows(), mesh.cols()), (4, 4));
+        // Interior node has 4 neighbours, corner has 2.
+        assert_eq!(mesh.graph().degree(n(5)), 4);
+        assert_eq!(mesh.graph().degree(n(0)), 2);
+        assert_eq!(mesh.graph().num_edges(), 24);
+        assert!(mesh.graph().is_connected());
+    }
+
+    #[test]
+    fn non_square_mesh_structure() {
+        let mesh = MeshTopology::distributed(10).unwrap();
+        assert!(mesh.graph().is_connected());
+        assert_eq!(mesh.graph().num_nodes(), 10);
+        // Every node exists at its claimed position.
+        for i in 0..10 {
+            let (r, c) = mesh.position(n(i));
+            assert_eq!(mesh.node_at(r, c), Some(n(i)));
+        }
+        assert_eq!(mesh.node_at(100, 0), None);
+    }
+
+    #[test]
+    fn mesh_path_length_grows_with_scale() {
+        let small = MeshTopology::distributed(16).unwrap();
+        let large = MeshTopology::distributed(256).unwrap();
+        let a = average_shortest_path_length(small.graph());
+        let b = average_shortest_path_length(large.graph());
+        assert!(b > 2.0 * a, "mesh path length must grow superlinearly-ish");
+    }
+
+    #[test]
+    fn odm_has_more_links_and_shorter_paths() {
+        let dm = MeshTopology::distributed(64).unwrap();
+        let odm = MeshTopology::optimized(64).unwrap();
+        assert!(odm.graph().num_edges() > dm.graph().num_edges());
+        let dm_len = average_shortest_path_length(dm.graph());
+        let odm_len = average_shortest_path_length(odm.graph());
+        assert!(odm_len < dm_len);
+        assert_eq!(odm.express_interval(), Some(2));
+        assert_eq!(odm.name(), "ODM");
+        assert_eq!(dm.name(), "DM");
+    }
+
+    #[test]
+    fn mesh_diameter_matches_manhattan() {
+        let mesh = MeshTopology::distributed(25).unwrap();
+        let stats = path_length_stats(mesh.graph());
+        assert_eq!(stats.diameter, 8); // (5-1) + (5-1)
+    }
+
+    #[test]
+    fn tiny_mesh_rejected_and_accepted() {
+        assert!(MeshTopology::distributed(1).is_err());
+        assert!(MeshTopology::distributed(2).is_ok());
+        assert!(MeshTopology::optimized(3).is_ok());
+    }
+
+    #[test]
+    fn router_port_counts() {
+        assert_eq!(MeshTopology::distributed(64).unwrap().router_ports(), 4);
+        assert_eq!(MeshTopology::optimized(64).unwrap().router_ports(), 8);
+    }
+}

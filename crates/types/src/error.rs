@@ -1,0 +1,141 @@
+//! Shared error type for the String Figure workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias for results returned by the String Figure crates.
+pub type SfResult<T> = Result<T, SfError>;
+
+/// Errors produced while constructing, routing, reconfiguring, or simulating a
+/// memory network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SfError {
+    /// A coordinate outside the unit ring `[0, 1)` (or NaN/infinite) was
+    /// supplied.
+    InvalidCoordinate {
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested network configuration cannot be built (e.g. too few
+    /// nodes or ports).
+    InvalidConfiguration {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A node identifier referenced a node that does not exist in the network.
+    UnknownNode {
+        /// Index of the missing node.
+        node: usize,
+        /// Number of nodes actually present.
+        network_size: usize,
+    },
+    /// The referenced node exists but is currently powered off / unmounted.
+    NodeOffline {
+        /// Index of the offline node.
+        node: usize,
+    },
+    /// A routing decision could not be made (no neighbour reduces the MD),
+    /// which indicates a malformed topology or routing table.
+    RoutingStuck {
+        /// Node at which routing got stuck.
+        at: usize,
+        /// Intended destination.
+        destination: usize,
+    },
+    /// A reconfiguration request was invalid (e.g. gating a node that is the
+    /// last path to a region, or mounting a node that is already mounted).
+    InvalidReconfiguration {
+        /// Human-readable description of why the reconfiguration is invalid.
+        reason: String,
+    },
+    /// A simulation was asked to do something unsupported (e.g. inject traffic
+    /// from an offline node).
+    Simulation {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidCoordinate { value } => {
+                write!(f, "coordinate {value} is outside the unit ring [0, 1)")
+            }
+            Self::InvalidConfiguration { reason } => {
+                write!(f, "invalid network configuration: {reason}")
+            }
+            Self::UnknownNode { node, network_size } => write!(
+                f,
+                "node {node} does not exist in a network of {network_size} nodes"
+            ),
+            Self::NodeOffline { node } => write!(f, "node {node} is powered off or unmounted"),
+            Self::RoutingStuck { at, destination } => write!(
+                f,
+                "greediest routing is stuck at node {at} while targeting node {destination}"
+            ),
+            Self::InvalidReconfiguration { reason } => {
+                write!(f, "invalid reconfiguration: {reason}")
+            }
+            Self::Simulation { reason } => write!(f, "simulation error: {reason}"),
+        }
+    }
+}
+
+impl Error for SfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_have_lowercase_messages() {
+        let errors = [
+            SfError::InvalidCoordinate { value: 2.0 },
+            SfError::InvalidConfiguration {
+                reason: "zero nodes".into(),
+            },
+            SfError::UnknownNode {
+                node: 9,
+                network_size: 4,
+            },
+            SfError::NodeOffline { node: 3 },
+            SfError::RoutingStuck {
+                at: 1,
+                destination: 2,
+            },
+            SfError::InvalidReconfiguration {
+                reason: "already mounted".into(),
+            },
+            SfError::Simulation {
+                reason: "injection from offline node".into(),
+            },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase() || first.is_numeric(), "message: {msg}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SfError>();
+    }
+
+    #[test]
+    fn error_equality() {
+        assert_eq!(
+            SfError::NodeOffline { node: 1 },
+            SfError::NodeOffline { node: 1 }
+        );
+        assert_ne!(
+            SfError::NodeOffline { node: 1 },
+            SfError::NodeOffline { node: 2 }
+        );
+    }
+}

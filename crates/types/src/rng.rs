@@ -1,0 +1,314 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Topology generation, workload synthesis, and the simulator all need
+//! reproducible randomness: two runs with the same seed must generate exactly
+//! the same topology so that experiments (and the paper's "average over 20
+//! generated topologies" methodology) can be replayed. [`DeterministicRng`]
+//! implements xoshiro256** seeded through splitmix64 — small, fast, and fully
+//! under our control so results never change underneath us when a third-party
+//! RNG crate changes its stream.
+
+use serde::{Deserialize, Serialize};
+
+/// A deterministic xoshiro256** pseudo-random number generator.
+///
+/// # Examples
+///
+/// ```
+/// use sf_types::DeterministicRng;
+/// let mut a = DeterministicRng::new(42);
+/// let mut b = DeterministicRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.next_f64();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeterministicRng {
+    state: [u64; 4],
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        // Expand the seed with splitmix64 so that nearby seeds produce
+        // unrelated streams.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut state = [next(), next(), next(), next()];
+        // Guard against the all-zero state, which xoshiro cannot escape.
+        if state.iter().all(|&s| s == 0) {
+            state = [0x1, 0x9e3779b97f4a7c15, 0xdeadbeef, 0xcafebabe];
+        }
+        Self { state }
+    }
+
+    /// Derives an independent child generator, useful for giving each virtual
+    /// space or each workload source its own stream.
+    #[must_use]
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let mix = self.next_u64() ^ stream.wrapping_mul(0xa076_1d64_78bd_642f);
+        Self::new(mix)
+    }
+
+    /// Returns the next 64 random bits.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniformly distributed `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniformly distributed integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Lemire's nearly-divisionless method with rejection for exactness.
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(bound);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(bound);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed `usize` index in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        if slice.len() < 2 {
+            return;
+        }
+        for i in (1..slice.len()).rev() {
+            let j = self.next_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws a sample from a zipfian distribution over `[0, n)` with skew
+    /// `theta` using inverse-CDF on a precomputed normalisation (simple and
+    /// adequate for workload modelling; not performance-critical).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn next_zipf(&mut self, n: usize, theta: f64) -> usize {
+        assert!(n > 0, "zipf support must be non-empty");
+        assert!(theta >= 0.0, "zipf skew must be non-negative");
+        if theta == 0.0 {
+            return self.next_index(n);
+        }
+        // Rejection-free approximate inverse CDF (Gray et al. method).
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let zetan = zeta(n, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        let u = self.next_f64();
+        let uz = u * zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(theta) {
+            return 1;
+        }
+        let idx = (n as f64 * (eta * u - eta + 1.0).powf(alpha)) as usize;
+        idx.min(n - 1)
+    }
+}
+
+fn zeta(n: usize, theta: f64) -> f64 {
+    // Harmonic-like normalisation constant; cap the exact sum at a few
+    // thousand terms and approximate the tail with an integral so very large
+    // supports stay cheap.
+    let exact = n.min(4096);
+    let mut sum = 0.0;
+    for i in 1..=exact {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    if n > exact && theta != 1.0 {
+        let a = exact as f64;
+        let b = n as f64;
+        sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DeterministicRng::new(123);
+        let mut b = DeterministicRng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_different_streams() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_gives_distinct_streams() {
+        let mut parent = DeterministicRng::new(7);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DeterministicRng::new(99);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = DeterministicRng::new(5);
+        for bound in [1u64, 2, 3, 7, 100, 1296] {
+            for _ in 0..1_000 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut rng = DeterministicRng::new(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.next_index(8)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = DeterministicRng::new(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle should permute");
+    }
+
+    #[test]
+    fn zipf_skews_towards_small_indices() {
+        let mut rng = DeterministicRng::new(17);
+        let n = 1000;
+        let mut head = 0usize;
+        let samples = 20_000;
+        for _ in 0..samples {
+            if rng.next_zipf(n, 0.99) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99, the top-10 of 1000 keys should absorb well over 20%
+        // of accesses (uniform would be 1%).
+        assert!(head as f64 / samples as f64 > 0.2);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut rng = DeterministicRng::new(21);
+        let mut head = 0usize;
+        for _ in 0..20_000 {
+            if rng.next_zipf(1000, 0.0) < 10 {
+                head += 1;
+            }
+        }
+        let frac = head as f64 / 20_000.0;
+        assert!(frac < 0.03, "uniform head fraction was {frac}");
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = DeterministicRng::new(9);
+        assert!(!(0..100).any(|_| rng.next_bool(0.0)));
+        assert!((0..100).all(|_| rng.next_bool(1.0)));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_next_below_in_range(seed in any::<u64>(), bound in 1u64..10_000) {
+            let mut rng = DeterministicRng::new(seed);
+            for _ in 0..16 {
+                prop_assert!(rng.next_below(bound) < bound);
+            }
+        }
+
+        #[test]
+        fn prop_zipf_in_range(seed in any::<u64>(), n in 1usize..5_000) {
+            let mut rng = DeterministicRng::new(seed);
+            for _ in 0..8 {
+                prop_assert!(rng.next_zipf(n, 0.99) < n);
+            }
+        }
+
+        #[test]
+        fn prop_shuffle_is_permutation(seed in any::<u64>(), len in 0usize..64) {
+            let mut rng = DeterministicRng::new(seed);
+            let mut v: Vec<usize> = (0..len).collect();
+            rng.shuffle(&mut v);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+        }
+    }
+}

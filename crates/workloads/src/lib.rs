@@ -1,0 +1,51 @@
+//! # `sf-workloads`
+//!
+//! Workload generation for the String Figure reproduction (HPCA 2019): the
+//! synthetic traffic patterns of Table III, synthetic equivalents of the
+//! paper's trace-driven "real" workloads (Table IV), the cache hierarchy the
+//! paper filters its traces through, and the physical-address-to-memory-node
+//! mapping.
+//!
+//! The paper collects Pin traces of Spark, Redis, Memcached, CloudSuite, and
+//! kernel workloads on a real server. Those traces are not redistributable,
+//! so this crate substitutes parameterised synthetic access-stream models
+//! that reproduce the properties the memory network actually observes:
+//! post-LLC access rate, read/write mix, spatial distribution across memory
+//! nodes (streaming, zipfian-skewed, graph-structured, blocked, or
+//! iterative), and working-set size. See `DESIGN.md` for the substitution
+//! rationale.
+//!
+//! ## Modules
+//!
+//! * [`patterns`] — the seven synthetic traffic patterns of Table III.
+//! * [`cache`] — a three-level set-associative cache hierarchy filter.
+//! * [`address`] — physical-address-to-memory-node interleaving.
+//! * [`apps`] — the eight application models of Table IV and their
+//!   trace generators.
+//!
+//! ## Example
+//!
+//! ```
+//! use sf_workloads::patterns::{SyntheticPattern, PatternTraffic};
+//! use sf_netsim::TrafficModel;
+//! use sf_types::NodeId;
+//!
+//! let mut traffic = PatternTraffic::new(SyntheticPattern::Tornado, 64, 0.1, 1);
+//! // The tornado pattern sends to the node halfway around the network.
+//! let request = traffic.destination(NodeId::new(3));
+//! assert_eq!(request.index(), 3 + 32);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod address;
+pub mod apps;
+pub mod cache;
+pub mod patterns;
+
+pub use address::AddressMapper;
+pub use apps::{ApplicationModel, ApplicationWorkload, WorkloadTraffic};
+pub use cache::{CacheHierarchy, CacheLevelConfig};
+pub use patterns::{PatternTraffic, SyntheticPattern};

@@ -1,0 +1,285 @@
+//! The synthetic traffic patterns of Table III.
+//!
+//! Each pattern maps a source node to a destination node; the traffic model
+//! injects a request towards that destination with a configurable per-node,
+//! per-cycle injection probability. Destination formulas follow the paper's
+//! Table III, with node count `N` standing in for `nports`:
+//!
+//! | pattern            | destination                                        |
+//! |---------------------|---------------------------------------------------|
+//! | uniform random      | `randint(0, N-1)`                                  |
+//! | tornado             | `(src + N/2) % N`                                  |
+//! | hotspot             | a single constant node                             |
+//! | opposite            | `N - 1 - src`                                      |
+//! | nearest neighbour   | `src + 1`                                          |
+//! | complement          | `src XOR (N-1)` (bit complement)                   |
+//! | partition-2         | random destination within the source's half        |
+
+use serde::{Deserialize, Serialize};
+use sf_netsim::{TrafficModel, TrafficRequest};
+use sf_types::{DeterministicRng, NodeId};
+use std::fmt;
+
+/// One of the synthetic traffic patterns of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyntheticPattern {
+    /// Each node sends to a uniformly random destination.
+    UniformRandom,
+    /// Each node sends to the node halfway around the network.
+    Tornado,
+    /// Every node sends to the same destination node.
+    Hotspot,
+    /// Each node sends to its mirror on the opposite side of the network.
+    Opposite,
+    /// Each node sends to its successor.
+    NearestNeighbor,
+    /// Each node sends to its bitwise complement.
+    Complement,
+    /// The network is split into two halves; nodes send to random nodes within
+    /// their half.
+    Partition2,
+}
+
+impl SyntheticPattern {
+    /// All seven patterns, in the order Table III lists them.
+    pub const ALL: [Self; 7] = [
+        Self::UniformRandom,
+        Self::Tornado,
+        Self::Hotspot,
+        Self::Opposite,
+        Self::NearestNeighbor,
+        Self::Complement,
+        Self::Partition2,
+    ];
+
+    /// Whether destinations depend on random draws (as opposed to being a
+    /// pure function of the source).
+    #[must_use]
+    pub fn is_random(self) -> bool {
+        matches!(self, Self::UniformRandom | Self::Partition2)
+    }
+
+    /// Short name used in experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::UniformRandom => "uniform_random",
+            Self::Tornado => "tornado",
+            Self::Hotspot => "hotspot",
+            Self::Opposite => "opposite",
+            Self::NearestNeighbor => "neighbor",
+            Self::Complement => "complement",
+            Self::Partition2 => "partition2",
+        }
+    }
+}
+
+impl fmt::Display for SyntheticPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A [`TrafficModel`] producing one of the synthetic patterns at a fixed
+/// injection rate.
+#[derive(Debug, Clone)]
+pub struct PatternTraffic {
+    pattern: SyntheticPattern,
+    num_nodes: usize,
+    injection_rate: f64,
+    hotspot_target: usize,
+    rng: DeterministicRng,
+}
+
+impl PatternTraffic {
+    /// Creates pattern traffic over `num_nodes` nodes. `injection_rate` is the
+    /// probability that a node injects a packet in a given cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    #[must_use]
+    pub fn new(
+        pattern: SyntheticPattern,
+        num_nodes: usize,
+        injection_rate: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_nodes > 0, "pattern traffic needs at least one node");
+        Self {
+            pattern,
+            num_nodes,
+            injection_rate: injection_rate.clamp(0.0, 1.0),
+            hotspot_target: 0,
+            rng: DeterministicRng::new(seed),
+        }
+    }
+
+    /// Changes the hotspot destination (default node 0).
+    #[must_use]
+    pub fn with_hotspot_target(mut self, target: NodeId) -> Self {
+        self.hotspot_target = target.index() % self.num_nodes;
+        self
+    }
+
+    /// The pattern this traffic model produces.
+    #[must_use]
+    pub fn pattern(&self) -> SyntheticPattern {
+        self.pattern
+    }
+
+    /// The configured injection rate.
+    #[must_use]
+    pub fn injection_rate(&self) -> f64 {
+        self.injection_rate
+    }
+
+    /// The destination the pattern maps `source` to (drawing random numbers
+    /// for the random patterns).
+    pub fn destination(&mut self, source: NodeId) -> NodeId {
+        let n = self.num_nodes;
+        let src = source.index();
+        let dest = match self.pattern {
+            SyntheticPattern::UniformRandom => self.rng.next_index(n),
+            SyntheticPattern::Tornado => (src + n / 2) % n,
+            SyntheticPattern::Hotspot => self.hotspot_target,
+            SyntheticPattern::Opposite => n - 1 - src,
+            SyntheticPattern::NearestNeighbor => (src + 1) % n,
+            SyntheticPattern::Complement => {
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                let mask = if bits == 0 { 0 } else { (1usize << bits) - 1 };
+                (src ^ mask) % n
+            }
+            SyntheticPattern::Partition2 => {
+                let half = (n / 2).max(1);
+                let group = src / half;
+                let within = self.rng.next_index(half);
+                (group * half + within).min(n - 1)
+            }
+        };
+        NodeId::new(dest % n)
+    }
+}
+
+impl TrafficModel for PatternTraffic {
+    fn maybe_inject(&mut self, _cycle: u64, source: NodeId) -> Option<TrafficRequest> {
+        if !self.rng.next_bool(self.injection_rate) {
+            return None;
+        }
+        let mut dest = self.destination(source);
+        if dest == source {
+            // Self-traffic exercises nothing in the network; redirect to the
+            // successor as the nearest meaningful destination.
+            dest = NodeId::new((source.index() + 1) % self.num_nodes);
+        }
+        Some(TrafficRequest::read(dest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn tornado_and_opposite_formulas() {
+        let mut t = PatternTraffic::new(SyntheticPattern::Tornado, 64, 1.0, 1);
+        assert_eq!(t.destination(n(0)), n(32));
+        assert_eq!(t.destination(n(40)), n(8));
+        let mut o = PatternTraffic::new(SyntheticPattern::Opposite, 64, 1.0, 1);
+        assert_eq!(o.destination(n(0)), n(63));
+        assert_eq!(o.destination(n(63)), n(0));
+        assert_eq!(o.destination(n(10)), n(53));
+    }
+
+    #[test]
+    fn neighbor_and_complement_formulas() {
+        let mut nn = PatternTraffic::new(SyntheticPattern::NearestNeighbor, 16, 1.0, 1);
+        assert_eq!(nn.destination(n(3)), n(4));
+        assert_eq!(nn.destination(n(15)), n(0));
+        let mut c = PatternTraffic::new(SyntheticPattern::Complement, 16, 1.0, 1);
+        assert_eq!(c.destination(n(0)), n(15));
+        assert_eq!(c.destination(n(5)), n(10));
+    }
+
+    #[test]
+    fn complement_on_non_power_of_two() {
+        let mut c = PatternTraffic::new(SyntheticPattern::Complement, 10, 1.0, 1);
+        for i in 0..10 {
+            let d = c.destination(n(i));
+            assert!(d.index() < 10);
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_single_node() {
+        let mut h = PatternTraffic::new(SyntheticPattern::Hotspot, 32, 1.0, 1)
+            .with_hotspot_target(n(7));
+        for i in 0..32 {
+            assert_eq!(h.destination(n(i)), n(7));
+        }
+    }
+
+    #[test]
+    fn uniform_random_covers_the_network() {
+        let mut u = PatternTraffic::new(SyntheticPattern::UniformRandom, 16, 1.0, 3);
+        let mut seen = vec![false; 16];
+        for _ in 0..1000 {
+            seen[u.destination(n(0)).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition2_stays_within_half() {
+        let mut p = PatternTraffic::new(SyntheticPattern::Partition2, 64, 1.0, 5);
+        for _ in 0..200 {
+            assert!(p.destination(n(3)).index() < 32);
+            assert!(p.destination(n(40)).index() >= 32);
+        }
+    }
+
+    #[test]
+    fn injection_rate_controls_offered_load() {
+        let mut quiet = PatternTraffic::new(SyntheticPattern::UniformRandom, 16, 0.0, 1);
+        let mut busy = PatternTraffic::new(SyntheticPattern::UniformRandom, 16, 1.0, 1);
+        let quiet_count: usize = (0..100)
+            .filter(|&c| quiet.maybe_inject(c, n(0)).is_some())
+            .count();
+        let busy_count: usize = (0..100)
+            .filter(|&c| busy.maybe_inject(c, n(0)).is_some())
+            .count();
+        assert_eq!(quiet_count, 0);
+        assert_eq!(busy_count, 100);
+        assert!(busy.injection_rate() >= quiet.injection_rate());
+    }
+
+    #[test]
+    fn injected_requests_never_target_self() {
+        for pattern in SyntheticPattern::ALL {
+            let mut t = PatternTraffic::new(pattern, 9, 1.0, 2);
+            for cycle in 0..50 {
+                for src in 0..9 {
+                    if let Some(req) = t.maybe_inject(cycle, n(src)) {
+                        assert_ne!(req.destination, n(src), "{pattern}");
+                        assert!(req.destination.index() < 9, "{pattern}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_metadata() {
+        assert_eq!(SyntheticPattern::ALL.len(), 7);
+        assert!(SyntheticPattern::UniformRandom.is_random());
+        assert!(SyntheticPattern::Partition2.is_random());
+        assert!(!SyntheticPattern::Tornado.is_random());
+        assert_eq!(SyntheticPattern::Hotspot.to_string(), "hotspot");
+        let t = PatternTraffic::new(SyntheticPattern::Tornado, 8, 0.5, 0);
+        assert_eq!(t.pattern(), SyntheticPattern::Tornado);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based integration tests over the whole stack: for arbitrary
+//! network sizes, port counts, seeds, and gating patterns, the core
+//! invariants of the paper must hold — connected topologies, bounded port
+//! usage, loop-free monotone greediest routing, and reversible
+//! reconfiguration.
+
+use proptest::prelude::*;
+use sf_routing::{trace_route, GreediestRouting};
+use sf_topology::{MemoryNetworkTopology, StringFigureTopology};
+use sf_types::{NetworkConfig, NodeId};
+use stringfigure::{StringFigureBuilder, StringFigureNetwork};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated topologies are connected, respect port budgets, and keep the
+    /// per-node fabricated wiring bounded.
+    #[test]
+    fn prop_topology_invariants(
+        nodes in 8usize..200,
+        ports in prop::sample::select(vec![4usize, 6, 8]),
+        seed in any::<u64>(),
+    ) {
+        let config = NetworkConfig::new(nodes, ports).unwrap().with_seed(seed);
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        prop_assert!(topo.graph().is_connected());
+        prop_assert_eq!(topo.graph().num_nodes(), nodes);
+        for v in topo.graph().nodes() {
+            prop_assert!(topo.ports_in_use(v) <= ports, "node {} oversubscribed", v);
+        }
+        prop_assert!(topo.max_fabricated_degree() <= ports + 4);
+        prop_assert!(topo.total_fabricated_wires() <= nodes * (ports / 2 + 2));
+        prop_assert_eq!(topo.router_ports(), ports);
+    }
+
+    /// Greediest routing terminates loop-free with a strictly decreasing MD
+    /// for random pairs on random topologies.
+    #[test]
+    fn prop_greediest_routing_loop_free_and_monotone(
+        nodes in 8usize..150,
+        seed in any::<u64>(),
+        pair_seed in any::<u64>(),
+    ) {
+        let config = NetworkConfig::new(nodes, 4).unwrap().with_seed(seed);
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        let routing = GreediestRouting::new(&topo);
+        let mut rng = sf_types::DeterministicRng::new(pair_seed);
+        for _ in 0..8 {
+            let s = NodeId::new(rng.next_index(nodes));
+            let t = NodeId::new(rng.next_index(nodes));
+            let route = trace_route(&routing, s, t, nodes).unwrap();
+            prop_assert!(!route.has_loop());
+            prop_assert_eq!(route.destination(), t);
+            // MD decreases monotonically hop over hop (Proposition 3).
+            for w in route.path.windows(2) {
+                prop_assert!(
+                    w[1] == t || routing.md(w[1], t) < routing.md(w[0], t) + 1e-12,
+                    "MD must not increase along the route"
+                );
+            }
+        }
+        prop_assert_eq!(routing.fallback_count(), 0);
+    }
+
+    /// Gating a random subset of nodes keeps the network usable, and
+    /// un-gating restores the original link count.
+    #[test]
+    fn prop_reconfiguration_is_reversible(
+        nodes in 24usize..100,
+        seed in any::<u64>(),
+        gate_count in 1usize..10,
+    ) {
+        let mut network = StringFigureBuilder::new(nodes).seed(seed).build().unwrap();
+        let original_edges = network.topology().graph().num_edges();
+        let mut rng = sf_types::DeterministicRng::new(seed ^ 0xff);
+        let mut gated = Vec::new();
+        for _ in 0..gate_count {
+            let candidate = NodeId::new(rng.next_index(nodes));
+            if network.gate_node(candidate).is_ok() {
+                gated.push(candidate);
+            }
+        }
+        network.check_invariants().unwrap();
+        prop_assert_eq!(network.path_stats().unreachable_pairs, 0);
+        for node in gated.iter().rev() {
+            network.ungate_node(*node).unwrap();
+        }
+        network.check_invariants().unwrap();
+        prop_assert_eq!(network.num_active_nodes(), nodes);
+        prop_assert_eq!(network.topology().graph().num_edges(), original_edges);
+    }
+
+    /// The public facade produces consistent path statistics for arbitrary
+    /// sizes (including non-powers-of-two).
+    #[test]
+    fn prop_network_path_stats_consistent(nodes in 8usize..180, seed in any::<u64>()) {
+        let network = StringFigureBuilder::new(nodes).seed(seed).build().unwrap();
+        let stats = network.path_stats();
+        prop_assert_eq!(stats.unreachable_pairs, 0);
+        prop_assert!(stats.p10 <= stats.p50);
+        prop_assert!(stats.p50 <= stats.p90);
+        prop_assert!(stats.p90 as u32 <= stats.diameter);
+        prop_assert!(stats.average >= 1.0);
+        prop_assert!(f64::from(stats.diameter) >= stats.average);
+    }
+}
+
+#[test]
+fn facade_and_raw_topology_agree() {
+    let network = StringFigureNetwork::generate(72).unwrap();
+    let raw = StringFigureTopology::generate(network.topology().config()).unwrap();
+    assert_eq!(network.topology().graph().edges(), raw.graph().edges());
+}

@@ -1,0 +1,141 @@
+//! Integration tests for elastic reconfiguration: dynamic power gating,
+//! static expansion/reduction, and the invariants the paper's mechanism must
+//! preserve (connectivity, port budgets, loop-free routing after updates).
+
+use sf_types::{NodeId, SimulationConfig};
+use sf_workloads::SyntheticPattern;
+use stringfigure::{PowerManager, StringFigureBuilder, StringFigureNetwork};
+
+#[test]
+fn gating_preserves_connectivity_and_routing() {
+    let mut network = StringFigureNetwork::generate(96).unwrap();
+    let mut pm = PowerManager::new(&mut network);
+    let gated = pm.gate_fraction(0.3, 17).unwrap();
+    assert!(gated.len() >= 20, "only gated {}", gated.len());
+    drop(pm);
+
+    network.check_invariants().unwrap();
+    let stats = network.path_stats();
+    assert_eq!(stats.unreachable_pairs, 0);
+
+    // Routing still works between all remaining nodes and never touches a
+    // gated node.
+    let active: Vec<NodeId> = network.topology().graph().active_nodes().collect();
+    for (i, &s) in active.iter().enumerate().step_by(6) {
+        for &t in active.iter().skip(i % 4).step_by(9) {
+            let route = network.route(s, t).unwrap();
+            assert!(!route.has_loop());
+            for hop in &route.path {
+                assert!(!network.topology().is_gated(*hop));
+            }
+        }
+    }
+}
+
+#[test]
+fn shortcuts_keep_downscaled_network_fast() {
+    // Compare a down-scaled network with shortcuts against one without:
+    // the shortcut wires are what keeps throughput and path length good
+    // after scaling down (the stated purpose of shortcut generation).
+    let build = |shortcuts: bool| {
+        let mut network = StringFigureBuilder::new(150)
+            .seed(23)
+            .shortcuts(shortcuts)
+            .build()
+            .unwrap();
+        let mut pm = PowerManager::new(&mut network);
+        pm.gate_fraction(0.3, 5).unwrap();
+        drop(pm);
+        network.path_stats().average
+    };
+    let with_shortcuts = build(true);
+    let without_shortcuts = build(false);
+    assert!(
+        with_shortcuts <= without_shortcuts + 0.05,
+        "shortcuts should not hurt: with {with_shortcuts}, without {without_shortcuts}"
+    );
+}
+
+#[test]
+fn gate_ungate_roundtrip_restores_performance() {
+    let mut network = StringFigureBuilder::new(64)
+        .seed(3)
+        .simulation(SimulationConfig {
+            max_cycles: 1_000,
+            warmup_cycles: 100,
+            ..SimulationConfig::default()
+        })
+        .build()
+        .unwrap();
+    let before = network.path_stats();
+
+    let mut pm = PowerManager::new(&mut network);
+    let gated = pm.gate_fraction(0.25, 31).unwrap();
+    let restored = pm.restore_all().unwrap();
+    assert_eq!(restored, gated.len());
+    drop(pm);
+
+    let after = network.path_stats();
+    assert_eq!(network.num_active_nodes(), 64);
+    assert!((after.average - before.average).abs() < 0.3);
+    network.check_invariants().unwrap();
+
+    // Simulation still behaves after the round trip.
+    let stats = network
+        .run_pattern(SyntheticPattern::UniformRandom, 0.05, 2)
+        .unwrap();
+    assert!(stats.delivery_ratio() > 0.9);
+}
+
+#[test]
+fn reconfiguration_events_account_latency_and_table_updates() {
+    let mut network = StringFigureNetwork::generate(48).unwrap();
+    let sleep = network.system().link_sleep_ns;
+    let wake = network.system().link_wake_ns;
+    let mut pm = PowerManager::new(&mut network);
+    let gate = pm.gate(NodeId::new(10)).unwrap();
+    assert_eq!(gate.latency_ns, sleep);
+    assert!(gate.routers_updated >= 2);
+    let ungate = pm.ungate(NodeId::new(10)).unwrap();
+    assert_eq!(ungate.latency_ns, wake);
+    assert!(pm.report().total_latency_ns >= sleep + wake);
+    assert_eq!(pm.report().net_gated(), 0);
+}
+
+#[test]
+fn static_reduction_supports_arbitrary_target_sizes() {
+    // Deploy a 200-node fabrication at several arbitrary mounted counts.
+    for target in [137usize, 150, 199] {
+        let mut network = StringFigureBuilder::new(200).seed(9).build().unwrap();
+        let mut removed = 0;
+        let mut candidate = 199;
+        while 200 - removed > target {
+            if network.gate_node(NodeId::new(candidate)).is_ok() {
+                removed += 1;
+            }
+            if candidate == 0 {
+                break;
+            }
+            candidate -= 1;
+        }
+        assert_eq!(network.num_active_nodes(), target, "target {target}");
+        network.check_invariants().unwrap();
+        assert_eq!(network.path_stats().unreachable_pairs, 0);
+    }
+}
+
+#[test]
+fn gating_rejections_do_not_corrupt_state() {
+    let mut network = StringFigureNetwork::generate(32).unwrap();
+    // Gate aggressively until requests start being rejected; state must stay
+    // consistent throughout.
+    let mut rejected = 0;
+    for i in 0..32 {
+        if network.gate_node(NodeId::new(i)).is_err() {
+            rejected += 1;
+        }
+        network.check_invariants().unwrap();
+    }
+    assert!(rejected > 0, "some gatings must be rejected to avoid disconnection");
+    assert!(network.num_active_nodes() >= 2);
+}
