@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI gate for the String Figure reproduction workspace.
+#
+#   ./ci.sh          # fmt + clippy + build + tests
+#   ./ci.sh --quick  # skip the release build (fastest signal)
+#
+# Every step must pass; the script stops at the first failure.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--quick" ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> CI green"

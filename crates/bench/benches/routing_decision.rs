@@ -6,7 +6,9 @@
 //! nodes and compares it against look-up-table routing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sf_routing::{GreediestRouting, RoutingContext, RoutingProtocol, ShortestPathRouting, ZeroLoad};
+use sf_routing::{
+    GreediestRouting, RoutingContext, RoutingProtocol, ShortestPathRouting, ZeroLoad,
+};
 use sf_topology::{JellyfishTopology, MemoryNetworkTopology, StringFigureTopology};
 use sf_types::{NetworkConfig, NodeId};
 use std::hint::black_box;

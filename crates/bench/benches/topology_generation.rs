@@ -13,14 +13,10 @@ fn bench_topology_generation(c: &mut Criterion) {
     group.sample_size(20);
     for &nodes in &[128usize, 512, 1296] {
         let ports = if nodes <= 128 { 4 } else { 8 };
-        group.bench_with_input(
-            BenchmarkId::new("string_figure", nodes),
-            &nodes,
-            |b, &n| {
-                let config = NetworkConfig::new(n, ports).unwrap();
-                b.iter(|| StringFigureTopology::generate(black_box(&config)).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("string_figure", nodes), &nodes, |b, &n| {
+            let config = NetworkConfig::new(n, ports).unwrap();
+            b.iter(|| StringFigureTopology::generate(black_box(&config)).unwrap());
+        });
         group.bench_with_input(BenchmarkId::new("jellyfish", nodes), &nodes, |b, &n| {
             b.iter(|| JellyfishTopology::generate(black_box(n), ports, 7).unwrap());
         });

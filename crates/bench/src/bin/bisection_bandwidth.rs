@@ -2,10 +2,11 @@
 //! design (50 random bisections, averaged over 20 generated topologies).
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin bisection_bandwidth [-- --quick]
+//! cargo run --release -p sf-bench --bin bisection_bandwidth \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
 use stringfigure::experiments::bisection_study;
 use stringfigure::TopologyKind;
 
@@ -18,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     eprintln!("# Empirical minimum bisection bandwidth (links across the cut)");
     eprintln!("# {cuts} random bisections per topology, {topologies} topologies per design");
+    announce_pool();
     let mut table = Vec::new();
+    let mut all_rows = Vec::new();
     for &nodes in &sizes {
         let rows = bisection_study(&TopologyKind::ALL, nodes, cuts, topologies)?;
         for row in rows {
@@ -28,8 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.minimum.to_string(),
                 fmt_f(row.average),
             ]);
+            all_rows.push(row);
         }
     }
-    print_table(&["nodes", "design", "min bisection", "avg bisection"], &table);
+    print_table(
+        &["nodes", "design", "min bisection", "avg bisection"],
+        &table,
+    );
+    emit_records(&all_rows)?;
     Ok(())
 }

@@ -2,10 +2,11 @@
 //! Figure across network sizes (sufficiently-uniform random graph check).
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig05_surg_path_length [-- --quick]
+//! cargo run --release -p sf-bench --bin fig05_surg_path_length \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
 use stringfigure::experiments::surg_path_length_study;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     eprintln!("# Figure 5: average shortest path length (lower is better)");
     eprintln!("# averaging over {seeds} generated topologies per point");
+    announce_pool();
     let rows = surg_path_length_study(&sizes, seeds)?;
+    emit_records(&rows)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {

@@ -2,10 +2,11 @@
 //! link counts per design and scale) and the qualitative feature matrix.
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig08_table02_configs [-- --quick]
+//! cargo run --release -p sf-bench --bin fig08_table02_configs \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, print_table, quick_mode};
 use stringfigure::experiments::configuration_table;
 use stringfigure::TopologyKind;
 
@@ -17,7 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![16, 17, 32, 61, 64, 113, 128, 256, 512, 1024, 1296]
     };
     eprintln!("# Figure 8: evaluated configurations (router ports, links)");
+    announce_pool();
     let rows = configuration_table(&TopologyKind::ALL, &sizes, 1)?;
+    emit_records(&rows)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -40,12 +43,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 k.to_string(),
                 if k.requires_high_radix() { "yes" } else { "no" }.to_string(),
                 if k.requires_high_radix() { "yes" } else { "no" }.to_string(),
-                if k.supports_reconfiguration() { "yes" } else { "no" }.to_string(),
+                if k.supports_reconfiguration() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
             ]
         })
         .collect();
     print_table(
-        &["design", "high-radix routers", "port scaling", "reconfigurable scaling"],
+        &[
+            "design",
+            "high-radix routers",
+            "port scaling",
+            "reconfigurable scaling",
+        ],
         &feature_rows,
     );
     Ok(())

@@ -2,10 +2,11 @@
 //! the number of memory nodes grows.
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig09a_hop_counts [-- --quick]
+//! cargo run --release -p sf-bench --bin fig09a_hop_counts \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
 use stringfigure::experiments::hop_count_study;
 use stringfigure::TopologyKind;
 
@@ -16,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (vec![16, 32, 64, 128, 256, 512, 1024, 1296], 2_000)
     };
     eprintln!("# Figure 9(a): average hop counts (routed) per design and scale");
+    announce_pool();
     let rows = hop_count_study(&TopologyKind::ALL, &sizes, samples, 7)?;
+    emit_records(&rows)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -30,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     print_table(
-        &["design", "nodes", "avg routed hops", "avg shortest path", "ports"],
+        &[
+            "design",
+            "nodes",
+            "avg routed hops",
+            "avg shortest path",
+            "ports",
+        ],
         &table,
     );
     Ok(())

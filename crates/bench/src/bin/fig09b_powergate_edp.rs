@@ -2,12 +2,14 @@
 //! power-gating increasing fractions of the memory network, across workloads.
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig09b_powergate_edp [-- --quick]
+//! cargo run --release -p sf-bench --bin fig09b_powergate_edp \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode};
+use sf_harness::table::{Record, Table};
 use sf_workloads::ApplicationModel;
-use stringfigure::experiments::{power_gating_study, ExperimentScale};
+use stringfigure::experiments::{power_gating_study, ExperimentScale, PowerGateRow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = quick_mode();
@@ -28,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     eprintln!("# Figure 9(b): normalised EDP vs fraction of nodes power-gated (lower is better)");
     eprintln!("# network: String Figure, {nodes} nodes, 4 CPU sockets");
+    announce_pool();
     let mut table = Vec::new();
+    // PowerGateRow doesn't carry its workload, so the artifact table
+    // prepends that column to the Record's own.
+    let mut artifact =
+        Table::with_columns(&[&["workload"], PowerGateRow::columns().as_slice()].concat());
     for &workload in workloads {
         let rows = power_gating_study(nodes, &fractions, workload, 4, scale, 2019)?;
         for row in rows {
@@ -39,10 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fmt_f(row.normalized_edp),
                 fmt_f(row.average_round_trip_cycles),
             ]);
+            let mut cells = vec![workload.name().into()];
+            cells.extend(row.values());
+            artifact.push_row(cells);
         }
     }
+    emit_table(&artifact)?;
     print_table(
-        &["workload", "gated", "gated nodes", "normalised EDP", "avg round trip (cycles)"],
+        &[
+            "workload",
+            "gated",
+            "gated nodes",
+            "normalised EDP",
+            "avg round trip (cycles)",
+        ],
         &table,
     );
     Ok(())

@@ -2,10 +2,11 @@
 //! the uniform random, hotspot, and tornado traffic patterns.
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig10_saturation [-- --quick]
+//! cargo run --release -p sf-bench --bin fig10_saturation \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_percent, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_percent, print_table, quick_mode};
 use sf_workloads::SyntheticPattern;
 use stringfigure::experiments::{saturation_study, ExperimentScale};
 use stringfigure::TopologyKind;
@@ -36,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SyntheticPattern::Tornado,
     ];
     eprintln!("# Figure 10: saturation injection rate (higher is better; 'saturated' = saturates at the lowest rate)");
+    announce_pool();
     let mut table = Vec::new();
+    let mut all_rows = Vec::new();
     for pattern in patterns {
         for &nodes in &sizes {
             let rows = saturation_study(&TopologyKind::ALL, nodes, pattern, &rates, scale, 3)?;
@@ -47,9 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     row.kind.to_string(),
                     fmt_percent(row.saturation_percent),
                 ]);
+                all_rows.push(row);
             }
         }
     }
     print_table(&["pattern", "nodes", "design", "saturation point"], &table);
+    emit_records(&all_rows)?;
     Ok(())
 }

@@ -2,11 +2,14 @@
 //! synthetic traffic pattern (networks below one thousand nodes).
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig11_latency_curves [-- --quick]
+//! cargo run --release -p sf-bench --bin fig11_latency_curves \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode};
+use sf_harness::table::{Record, Table};
 use sf_workloads::SyntheticPattern;
+use stringfigure::experiments::LatencyPoint;
 use stringfigure::experiments::{latency_curve, ExperimentScale};
 use stringfigure::TopologyKind;
 
@@ -37,7 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SyntheticPattern::ALL.to_vec()
     };
     eprintln!("# Figure 11: average packet latency (cycles) vs injection rate, {nodes} nodes");
+    announce_pool();
     let mut table = Vec::new();
+    // LatencyPoint rows don't carry their (pattern, design) context, so the
+    // artifact table prepends those two columns to the Record's own.
+    let mut artifact =
+        Table::with_columns(&[&["pattern", "design"], LatencyPoint::columns().as_slice()].concat());
     for &pattern in &patterns {
         for &kind in &kinds {
             let points = latency_curve(kind, nodes, pattern, &rates, scale, 5)?;
@@ -50,12 +58,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     fmt_f(p.accepted_throughput),
                     if p.saturated { "yes" } else { "no" }.to_string(),
                 ]);
+                let mut cells = vec![pattern.to_string().into(), kind.name().into()];
+                cells.extend(p.values());
+                artifact.push_row(cells);
             }
         }
     }
     print_table(
-        &["pattern", "design", "rate", "avg latency", "accepted throughput", "saturated"],
+        &[
+            "pattern",
+            "design",
+            "rate",
+            "avg latency",
+            "accepted throughput",
+            "saturated",
+        ],
         &table,
     );
+    emit_table(&artifact)?;
     Ok(())
 }

@@ -2,10 +2,11 @@
 //! dynamic memory energy (12b, vs AFB) for the real-workload models.
 //!
 //! ```text
-//! cargo run --release -p sf-bench --bin fig12_workloads [-- --quick]
+//! cargo run --release -p sf-bench --bin fig12_workloads \
+//!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
 use sf_workloads::ApplicationModel;
 use stringfigure::experiments::{workload_study, ExperimentScale};
 use stringfigure::TopologyKind;
@@ -36,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TopologyKind::StringFigure,
     ];
     eprintln!("# Figure 12: workloads on {nodes} memory nodes, 4 CPU sockets");
+    announce_pool();
     let rows = workload_study(&kinds, &workloads, nodes, 4, scale, 2019)?;
+    emit_records(&rows)?;
 
     let get = |kind, workload| {
         rows.iter()
@@ -67,7 +70,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     print_table(&["workload", "design", "normalised throughput"], &thr);
 
-    eprintln!("\n# Figure 12(b): dynamic memory energy per request normalised to AFB (lower is better)");
+    eprintln!(
+        "\n# Figure 12(b): dynamic memory energy per request normalised to AFB (lower is better)"
+    );
     let mut energy = Vec::new();
     for &kind in &[
         TopologyKind::OptimizedMesh,

@@ -67,6 +67,69 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// The value following `flag` on the command line, if present.
+///
+/// A missing value — `--csv` as the last argument, or directly followed by
+/// another `--flag` — is reported on stderr and treated as absent rather
+/// than silently consuming the next flag as a file name.
+#[must_use]
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return match args.next() {
+                Some(value) if !value.starts_with("--") => Some(value),
+                _ => {
+                    eprintln!("# warning: {flag} requires a value; no artifact written");
+                    None
+                }
+            };
+        }
+    }
+    None
+}
+
+/// Prints how the sweep engine will execute this run (worker count and the
+/// environment knob that controls it).
+pub fn announce_pool() {
+    let pool = sf_harness::PoolConfig::auto();
+    eprintln!(
+        "# sf-harness: {} worker(s) (override with {}=N)",
+        pool.threads,
+        sf_harness::PoolConfig::THREADS_ENV
+    );
+}
+
+/// Writes `table` to the paths given by `--csv PATH` and/or `--json PATH`.
+///
+/// Without either flag this is a no-op, so every figure binary doubles as a
+/// machine-readable artifact producer when asked and stays a plain
+/// table-printer otherwise.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the artifact files.
+pub fn emit_table(table: &sf_harness::Table) -> std::io::Result<()> {
+    if let Some(path) = arg_value("--csv") {
+        std::fs::write(&path, table.to_csv())?;
+        eprintln!("# wrote {path} ({} rows)", table.len());
+    }
+    if let Some(path) = arg_value("--json") {
+        std::fs::write(&path, table.to_json())?;
+        eprintln!("# wrote {path} ({} rows)", table.len());
+    }
+    Ok(())
+}
+
+/// [`emit_table`] for a slice of typed experiment rows.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from writing the artifact files.
+pub fn emit_records<R: sf_harness::Record>(rows: &[R]) -> std::io::Result<()> {
+    emit_table(&sf_harness::Table::from_records(rows))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,7 +145,10 @@ mod tests {
     fn print_table_does_not_panic() {
         print_table(
             &["a", "b"],
-            &[vec!["1".to_string(), "2".to_string()], vec!["33".to_string(), "4".to_string()]],
+            &[
+                vec!["1".to_string(), "2".to_string()],
+                vec!["33".to_string(), "4".to_string()],
+            ],
         );
     }
 }

@@ -26,9 +26,7 @@ use sf_topology::{
     AdjacencyGraph, FlattenedButterfly, JellyfishTopology, MeshTopology, S2Topology,
     StringFigureTopology,
 };
-use sf_types::{
-    DeterministicRng, NetworkConfig, NodeId, SfResult, SimulationConfig, SystemConfig,
-};
+use sf_types::{DeterministicRng, NetworkConfig, NodeId, SfResult, SimulationConfig, SystemConfig};
 use std::fmt;
 
 /// The network designs compared in the paper's evaluation.
@@ -146,7 +144,9 @@ impl NetworkInstance {
     pub fn build(kind: TopologyKind, nodes: usize, seed: u64) -> SfResult<Self> {
         let ports = kind.figure8_ports(nodes);
         let topology = match kind {
-            TopologyKind::DistributedMesh => TopologyInstance::Mesh(MeshTopology::distributed(nodes)?),
+            TopologyKind::DistributedMesh => {
+                TopologyInstance::Mesh(MeshTopology::distributed(nodes)?)
+            }
             TopologyKind::OptimizedMesh => TopologyInstance::Mesh(MeshTopology::optimized(nodes)?),
             TopologyKind::FlattenedButterfly => {
                 TopologyInstance::Butterfly(FlattenedButterfly::full(nodes)?)
@@ -320,7 +320,7 @@ mod tests {
             assert_eq!(instance.num_nodes(), 64);
             assert!(instance.graph().is_connected(), "{kind}");
             let hops = instance.average_routed_hops(100).unwrap();
-            assert!(hops >= 1.0 && hops < 20.0, "{kind}: {hops}");
+            assert!((1.0..20.0).contains(&hops), "{kind}: {hops}");
             assert!(instance.router_ports() >= 4, "{kind}");
         }
     }

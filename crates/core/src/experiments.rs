@@ -21,13 +21,79 @@ use crate::comparison::{NetworkInstance, TopologyKind};
 use crate::network::StringFigureNetwork;
 use crate::power::PowerManager;
 use serde::{Deserialize, Serialize};
+use sf_harness::pool::PoolConfig;
+use sf_harness::sweep::{cross2, Sweep, SweepError, SweepReport};
+use sf_harness::table::{Record, Value};
+use sf_harness::BuildCache;
 use sf_netsim::SimulationStats;
 use sf_topology::analysis;
-use sf_types::{NodeId, SfResult, SimulationConfig, SystemConfig};
+use sf_types::{NodeId, SfError, SfResult, SimulationConfig, SystemConfig};
 use sf_workloads::{
     AddressMapper, ApplicationModel, CacheHierarchy, PatternTraffic, SyntheticPattern,
     WorkloadTraffic,
 };
+use std::sync::{Arc, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Harness plumbing: worker pool, topology cache, outcome collection
+// ---------------------------------------------------------------------------
+
+/// The worker pool every study runs on by default: one worker per CPU,
+/// overridable with the `SF_HARNESS_THREADS` environment variable. Results
+/// are collected by job index, so any worker count produces bit-identical
+/// rows (see the `*_with_pool` variants and the determinism test below).
+#[must_use]
+pub fn default_pool() -> PoolConfig {
+    PoolConfig::auto()
+}
+
+/// Process-wide cache of generated [`NetworkInstance`]s keyed by
+/// `(kind, nodes, seed)`. Construction is a pure function of the key, so
+/// sharing instances across jobs (and across studies) never changes results
+/// — it only removes redundant topology generation from sweeps that revisit
+/// the same network point.
+fn topology_cache() -> &'static BuildCache<(TopologyKind, usize, u64), NetworkInstance> {
+    static CACHE: OnceLock<BuildCache<(TopologyKind, usize, u64), NetworkInstance>> =
+        OnceLock::new();
+    CACHE.get_or_init(BuildCache::new)
+}
+
+/// Builds or reuses the network design `kind` at scale `nodes` with `seed`.
+///
+/// # Errors
+///
+/// Propagates topology construction errors.
+pub fn cached_instance(
+    kind: TopologyKind,
+    nodes: usize,
+    seed: u64,
+) -> SfResult<Arc<NetworkInstance>> {
+    topology_cache().get_or_build((kind, nodes, seed), || {
+        NetworkInstance::build(kind, nodes, seed)
+    })
+}
+
+/// Unwraps a sweep report into rows, translating a panic in any job into an
+/// [`SfError::Simulation`] so callers keep seeing the crate's error type.
+///
+/// The lowest-indexed failure wins (matching what the old serial loops
+/// surfaced first), and panics are tagged with the failing job's sweep index
+/// so a bad point in a hundreds-of-jobs sweep can be re-run in isolation.
+fn collect_rows<R>(report: SweepReport<R, SfError>) -> SfResult<Vec<R>> {
+    let mut rows = Vec::with_capacity(report.outcomes.len());
+    for outcome in report.outcomes {
+        match outcome.result {
+            Ok(row) => rows.push(row),
+            Err(SweepError::Job(e)) => return Err(e),
+            Err(SweepError::Panic(message)) => {
+                return Err(SfError::Simulation {
+                    reason: format!("experiment job {} panicked: {message}", outcome.index),
+                })
+            }
+        }
+    }
+    Ok(rows)
+}
 
 /// Controls how long the cycle-level simulations of an experiment run.
 ///
@@ -97,21 +163,44 @@ pub struct SurgRow {
 ///
 /// Propagates topology construction errors.
 pub fn surg_path_length_study(sizes: &[usize], seeds: u64) -> SfResult<Vec<SurgRow>> {
-    let mut rows = Vec::new();
-    for &nodes in sizes {
+    surg_path_length_study_with_pool(&default_pool(), sizes, seeds)
+}
+
+/// [`surg_path_length_study`] on an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates topology construction errors.
+pub fn surg_path_length_study_with_pool(
+    pool: &PoolConfig,
+    sizes: &[usize],
+    seeds: u64,
+) -> SfResult<Vec<SurgRow>> {
+    const KINDS: [TopologyKind; 3] = [
+        TopologyKind::Jellyfish,
+        TopologyKind::SpaceShuffle,
+        TopologyKind::StringFigure,
+    ];
+    // One job per (size, topology seed, design); aggregation back into one
+    // row per size happens serially below, in enumeration order, so the
+    // float accumulation order matches the old nested loops exactly.
+    let seed_list: Vec<u64> = (0..seeds.max(1)).collect();
+    let sweep = Sweep::new(cross2(sizes, &cross2(&seed_list, &KINDS)));
+    let lengths = collect_rows(sweep.run(pool, |_, &(nodes, (seed, kind))| {
+        Ok(cached_instance(kind, nodes, seed + 1)?.average_shortest_path())
+    }))?;
+
+    let denom = seeds.max(1) as f64;
+    let per_size = seed_list.len() * KINDS.len();
+    let mut rows = Vec::with_capacity(sizes.len());
+    for (si, &nodes) in sizes.iter().enumerate() {
         let mut sums = [0.0f64; 3];
-        for seed in 0..seeds.max(1) {
-            let kinds = [
-                TopologyKind::Jellyfish,
-                TopologyKind::SpaceShuffle,
-                TopologyKind::StringFigure,
-            ];
-            for (i, kind) in kinds.into_iter().enumerate() {
-                let instance = NetworkInstance::build(kind, nodes, seed + 1)?;
-                sums[i] += instance.average_shortest_path();
-            }
+        for (pi, length) in lengths[si * per_size..(si + 1) * per_size]
+            .iter()
+            .enumerate()
+        {
+            sums[pi % KINDS.len()] += length;
         }
-        let denom = seeds.max(1) as f64;
         rows.push(SurgRow {
             nodes,
             jellyfish: sums[0] / denom,
@@ -154,20 +243,32 @@ pub fn hop_count_study(
     samples: usize,
     seed: u64,
 ) -> SfResult<Vec<HopCountRow>> {
-    let mut rows = Vec::new();
-    for &nodes in sizes {
-        for &kind in kinds {
-            let instance = NetworkInstance::build(kind, nodes, seed)?;
-            rows.push(HopCountRow {
-                kind,
-                nodes,
-                average_shortest_path: instance.average_shortest_path(),
-                average_routed_hops: instance.average_routed_hops(samples)?,
-                router_ports: instance.router_ports(),
-            });
-        }
-    }
-    Ok(rows)
+    hop_count_study_with_pool(&default_pool(), kinds, sizes, samples, seed)
+}
+
+/// [`hop_count_study`] on an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates topology construction and routing errors.
+pub fn hop_count_study_with_pool(
+    pool: &PoolConfig,
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    samples: usize,
+    seed: u64,
+) -> SfResult<Vec<HopCountRow>> {
+    let sweep = Sweep::new(cross2(sizes, kinds));
+    collect_rows(sweep.run(pool, |_, &(nodes, kind)| {
+        let instance = cached_instance(kind, nodes, seed)?;
+        Ok(HopCountRow {
+            kind,
+            nodes,
+            average_shortest_path: instance.average_shortest_path(),
+            average_routed_hops: instance.average_routed_hops(samples)?,
+            router_ports: instance.router_ports(),
+        })
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -205,9 +306,29 @@ pub fn saturation_study(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<SaturationRow>> {
-    let mut rows = Vec::new();
-    for &kind in kinds {
-        let instance = NetworkInstance::build(kind, nodes, seed)?;
+    saturation_study_with_pool(&default_pool(), kinds, nodes, pattern, rates, scale, seed)
+}
+
+/// [`saturation_study`] on an explicit worker pool.
+///
+/// One job per design; the injection-rate ladder inside a job stays serial
+/// because each rung's early exit depends on the previous one.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn saturation_study_with_pool(
+    pool: &PoolConfig,
+    kinds: &[TopologyKind],
+    nodes: usize,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<SaturationRow>> {
+    let sweep = Sweep::new(kinds.to_vec());
+    collect_rows(sweep.run(pool, |_, &kind| {
+        let instance = cached_instance(kind, nodes, seed)?;
         let mut best: Option<f64> = None;
         let mut base_latency: Option<f64> = None;
         for &rate in rates {
@@ -220,14 +341,13 @@ pub fn saturation_study(
             }
             best = Some(rate);
         }
-        rows.push(SaturationRow {
+        Ok(SaturationRow {
             kind,
             nodes,
             pattern,
             saturation_percent: best.map(|r| r * 100.0),
-        });
-    }
-    Ok(rows)
+        })
+    }))
 }
 
 /// Runs one synthetic-pattern simulation on a pre-built instance.
@@ -278,19 +398,36 @@ pub fn latency_curve(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<LatencyPoint>> {
-    let instance = NetworkInstance::build(kind, nodes, seed)?;
-    let mut points = Vec::new();
-    for &rate in rates {
+    latency_curve_with_pool(&default_pool(), kind, nodes, pattern, rates, scale, seed)
+}
+
+/// [`latency_curve`] on an explicit worker pool: one job per injection rate,
+/// all sharing the cached network instance.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn latency_curve_with_pool(
+    pool: &PoolConfig,
+    kind: TopologyKind,
+    nodes: usize,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<LatencyPoint>> {
+    let instance = cached_instance(kind, nodes, seed)?;
+    let sweep = Sweep::new(rates.to_vec());
+    collect_rows(sweep.run(pool, |_, &rate| {
         let stats = run_pattern_on(&instance, pattern, rate, scale, seed)?;
         let measured = scale.max_cycles - scale.warmup_cycles;
-        points.push(LatencyPoint {
+        Ok(LatencyPoint {
             injection_rate: rate,
             average_latency_cycles: stats.average_latency_cycles(),
             accepted_throughput: stats.accepted_throughput(measured),
             saturated: stats.is_saturated(),
-        });
-    }
-    Ok(points)
+        })
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -330,25 +467,48 @@ pub fn workload_study(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<WorkloadRow>> {
-    let mut rows = Vec::new();
+    workload_study_with_pool(
+        &default_pool(),
+        kinds,
+        workloads,
+        nodes,
+        socket_count,
+        scale,
+        seed,
+    )
+}
+
+/// [`workload_study`] on an explicit worker pool: one job per
+/// (design, application) pair.
+///
+/// # Errors
+///
+/// Propagates construction, workload, and simulation errors.
+pub fn workload_study_with_pool(
+    pool: &PoolConfig,
+    kinds: &[TopologyKind],
+    workloads: &[ApplicationModel],
+    nodes: usize,
+    socket_count: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<WorkloadRow>> {
     let injectors = socket_nodes(nodes, socket_count);
-    for &kind in kinds {
-        let instance = NetworkInstance::build(kind, nodes, seed)?;
-        for &workload in workloads {
-            let stats = run_workload_on(&instance, workload, &injectors, scale, seed)?;
-            let measured = scale.max_cycles - scale.warmup_cycles;
-            let completed = stats.completed_requests.max(1);
-            rows.push(WorkloadRow {
-                kind,
-                workload,
-                requests_per_cycle: stats.completed_requests as f64 / measured as f64,
-                average_round_trip_cycles: stats.average_round_trip_cycles(),
-                energy_per_request_pj: stats.total_energy_pj() / completed as f64,
-                total_energy_pj: stats.total_energy_pj(),
-            });
-        }
-    }
-    Ok(rows)
+    let sweep = Sweep::new(cross2(kinds, workloads));
+    collect_rows(sweep.run(pool, |_, &(kind, workload)| {
+        let instance = cached_instance(kind, nodes, seed)?;
+        let stats = run_workload_on(&instance, workload, &injectors, scale, seed)?;
+        let measured = scale.max_cycles - scale.warmup_cycles;
+        let completed = stats.completed_requests.max(1);
+        Ok(WorkloadRow {
+            kind,
+            workload,
+            requests_per_cycle: stats.completed_requests as f64 / measured as f64,
+            average_round_trip_cycles: stats.average_round_trip_cycles(),
+            energy_per_request_pj: stats.total_energy_pj() / completed as f64,
+            total_energy_pj: stats.total_energy_pj(),
+        })
+    }))
 }
 
 /// Runs one application workload on a pre-built instance.
@@ -368,8 +528,7 @@ pub fn run_workload_on(
     // network within the simulated window (the paper's traces are likewise
     // collected post-initialisation, when caches are already thrashing).
     let cache = CacheHierarchy::tiny()?;
-    let mut traffic =
-        WorkloadTraffic::with_cache(workload, mapper, injectors, seed, &cache)?;
+    let mut traffic = WorkloadTraffic::with_cache(workload, mapper, injectors, seed, &cache)?;
     let mut sim = instance
         .make_simulator(SystemConfig::default(), scale.simulation_config())?
         .with_request_reply(true);
@@ -382,9 +541,7 @@ pub fn run_workload_on(
 #[must_use]
 pub fn socket_nodes(nodes: usize, count: usize) -> Vec<NodeId> {
     let count = count.clamp(1, nodes);
-    (0..count)
-        .map(|i| NodeId::new(i * nodes / count))
-        .collect()
+    (0..count).map(|i| NodeId::new(i * nodes / count)).collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -421,9 +578,38 @@ pub fn power_gating_study(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<PowerGateRow>> {
-    let mut rows = Vec::new();
-    let mut baseline_edp: Option<f64> = None;
-    for &fraction in fractions {
+    power_gating_study_with_pool(
+        &default_pool(),
+        nodes,
+        fractions,
+        workload,
+        socket_count,
+        scale,
+        seed,
+    )
+}
+
+/// [`power_gating_study`] on an explicit worker pool.
+///
+/// Every fraction is an independent job (each builds and gates its own
+/// network, so nothing is shared); normalisation against the first
+/// fraction's EDP happens serially once all jobs are in, which keeps the
+/// output identical to the old strictly-serial loop.
+///
+/// # Errors
+///
+/// Propagates construction, reconfiguration, and simulation errors.
+pub fn power_gating_study_with_pool(
+    pool: &PoolConfig,
+    nodes: usize,
+    fractions: &[f64],
+    workload: ApplicationModel,
+    socket_count: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<PowerGateRow>> {
+    let sweep = Sweep::new(fractions.to_vec());
+    let mut rows = collect_rows(sweep.run(pool, |_, &fraction| {
         let mut network = StringFigureNetwork::builder(nodes)
             .seed(seed)
             .simulation(scale.simulation_config())
@@ -444,19 +630,30 @@ pub fn power_gating_study(
         let mapper = AddressMapper::paper_default(active.len())?;
         let cache = CacheHierarchy::tiny()?;
         let mut traffic = RemappedWorkload {
-            inner: WorkloadTraffic::with_cache(workload, mapper, &remap_injectors(&injectors, &active), seed, &cache)?,
+            inner: WorkloadTraffic::with_cache(
+                workload,
+                mapper,
+                &remap_injectors(&injectors, &active),
+                seed,
+                &cache,
+            )?,
             active: active.clone(),
         };
         let stats = network.run_traffic(&mut traffic, scale.simulation_config(), true)?;
-        let edp = stats.energy_delay_product();
-        let base = *baseline_edp.get_or_insert(edp.max(f64::MIN_POSITIVE));
-        rows.push(PowerGateRow {
+        Ok(PowerGateRow {
             gated_fraction: fraction,
             gated_nodes: gated.len(),
-            energy_delay_product: edp,
-            normalized_edp: edp / base,
+            energy_delay_product: stats.energy_delay_product(),
+            // Filled in below once the baseline (first fraction) is known.
+            normalized_edp: 0.0,
             average_round_trip_cycles: stats.average_round_trip_cycles(),
-        });
+        })
+    }))?;
+    let base = rows
+        .first()
+        .map_or(1.0, |r| r.energy_delay_product.max(f64::MIN_POSITIVE));
+    for row in &mut rows {
+        row.normalized_edp = row.energy_delay_product / base;
     }
     Ok(rows)
 }
@@ -483,11 +680,7 @@ struct RemappedWorkload {
 }
 
 impl sf_netsim::TrafficModel for RemappedWorkload {
-    fn maybe_inject(
-        &mut self,
-        cycle: u64,
-        source: NodeId,
-    ) -> Option<sf_netsim::TrafficRequest> {
+    fn maybe_inject(&mut self, cycle: u64, source: NodeId) -> Option<sf_netsim::TrafficRequest> {
         // Translate the physical source id to its dense index; silent when the
         // source is not an active node.
         let dense = NodeId::new(self.active.iter().position(|a| *a == source)?);
@@ -532,17 +725,40 @@ pub fn bisection_study(
     cuts: usize,
     topologies: u64,
 ) -> SfResult<Vec<BisectionRow>> {
-    let mut rows = Vec::new();
-    for &kind in kinds {
+    bisection_study_with_pool(&default_pool(), kinds, nodes, cuts, topologies)
+}
+
+/// [`bisection_study`] on an explicit worker pool: one job per
+/// (design, generated topology), averaged per design afterwards in
+/// enumeration order.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn bisection_study_with_pool(
+    pool: &PoolConfig,
+    kinds: &[TopologyKind],
+    nodes: usize,
+    cuts: usize,
+    topologies: u64,
+) -> SfResult<Vec<BisectionRow>> {
+    let seed_list: Vec<u64> = (0..topologies.max(1)).collect();
+    let sweep = Sweep::new(cross2(kinds, &seed_list));
+    let samples = collect_rows(sweep.run(pool, |_, &(kind, seed)| {
+        let instance = cached_instance(kind, nodes, seed + 1)?;
+        Ok(instance.bisection_bandwidth(cuts, seed + 100))
+    }))?;
+
+    let denom = topologies.max(1);
+    let per_kind = seed_list.len();
+    let mut rows = Vec::with_capacity(kinds.len());
+    for (ki, &kind) in kinds.iter().enumerate() {
         let mut min_sum = 0u64;
         let mut avg_sum = 0.0;
-        for seed in 0..topologies.max(1) {
-            let instance = NetworkInstance::build(kind, nodes, seed + 1)?;
-            let bb = instance.bisection_bandwidth(cuts, seed + 100);
+        for bb in &samples[ki * per_kind..(ki + 1) * per_kind] {
             min_sum += bb.minimum;
             avg_sum += bb.average;
         }
-        let denom = topologies.max(1);
         rows.push(BisectionRow {
             kind,
             nodes,
@@ -581,21 +797,32 @@ pub fn configuration_table(
     sizes: &[usize],
     seed: u64,
 ) -> SfResult<Vec<ConfigurationRow>> {
-    let mut rows = Vec::new();
-    for &nodes in sizes {
-        for &kind in kinds {
-            let instance = NetworkInstance::build(kind, nodes, seed)?;
-            rows.push(ConfigurationRow {
-                kind,
-                nodes,
-                router_ports: instance.router_ports(),
-                links: instance.graph().num_edges(),
-                requires_high_radix: kind.requires_high_radix(),
-                supports_reconfiguration: kind.supports_reconfiguration(),
-            });
-        }
-    }
-    Ok(rows)
+    configuration_table_with_pool(&default_pool(), kinds, sizes, seed)
+}
+
+/// [`configuration_table`] on an explicit worker pool.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn configuration_table_with_pool(
+    pool: &PoolConfig,
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    seed: u64,
+) -> SfResult<Vec<ConfigurationRow>> {
+    let sweep = Sweep::new(cross2(sizes, kinds));
+    collect_rows(sweep.run(pool, |_, &(nodes, kind)| {
+        let instance = cached_instance(kind, nodes, seed)?;
+        Ok(ConfigurationRow {
+            kind,
+            nodes,
+            router_ports: instance.router_ports(),
+            links: instance.graph().num_edges(),
+            requires_high_radix: kind.requires_high_radix(),
+            supports_reconfiguration: kind.supports_reconfiguration(),
+        })
+    }))
 }
 
 /// Average-path-length summary of a partially gated String Figure network,
@@ -604,11 +831,168 @@ pub fn configuration_table(
 /// # Errors
 ///
 /// Propagates construction and reconfiguration errors.
-pub fn gated_path_length(nodes: usize, fraction: f64, seed: u64) -> SfResult<analysis::PathLengthStats> {
+pub fn gated_path_length(
+    nodes: usize,
+    fraction: f64,
+    seed: u64,
+) -> SfResult<analysis::PathLengthStats> {
     let mut network = StringFigureNetwork::builder(nodes).seed(seed).build()?;
     let mut pm = PowerManager::new(&mut network);
     pm.gate_fraction(fraction, seed)?;
     Ok(network.path_stats())
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable artifacts: every row type is an sf-harness Record
+// ---------------------------------------------------------------------------
+
+impl Record for SurgRow {
+    fn columns() -> Vec<&'static str> {
+        vec!["nodes", "jellyfish", "s2", "string_figure"]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.nodes.into(),
+            self.jellyfish.into(),
+            self.s2.into(),
+            self.string_figure.into(),
+        ]
+    }
+}
+
+impl Record for HopCountRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "kind",
+            "nodes",
+            "average_shortest_path",
+            "average_routed_hops",
+            "router_ports",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.nodes.into(),
+            self.average_shortest_path.into(),
+            self.average_routed_hops.into(),
+            self.router_ports.into(),
+        ]
+    }
+}
+
+impl Record for SaturationRow {
+    fn columns() -> Vec<&'static str> {
+        vec!["kind", "nodes", "pattern", "saturation_percent"]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.nodes.into(),
+            self.pattern.to_string().into(),
+            self.saturation_percent.into(),
+        ]
+    }
+}
+
+impl Record for LatencyPoint {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "injection_rate",
+            "average_latency_cycles",
+            "accepted_throughput",
+            "saturated",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.injection_rate.into(),
+            self.average_latency_cycles.into(),
+            self.accepted_throughput.into(),
+            self.saturated.into(),
+        ]
+    }
+}
+
+impl Record for WorkloadRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "kind",
+            "workload",
+            "requests_per_cycle",
+            "average_round_trip_cycles",
+            "energy_per_request_pj",
+            "total_energy_pj",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.workload.name().into(),
+            self.requests_per_cycle.into(),
+            self.average_round_trip_cycles.into(),
+            self.energy_per_request_pj.into(),
+            self.total_energy_pj.into(),
+        ]
+    }
+}
+
+impl Record for PowerGateRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "gated_fraction",
+            "gated_nodes",
+            "energy_delay_product",
+            "normalized_edp",
+            "average_round_trip_cycles",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.gated_fraction.into(),
+            self.gated_nodes.into(),
+            self.energy_delay_product.into(),
+            self.normalized_edp.into(),
+            self.average_round_trip_cycles.into(),
+        ]
+    }
+}
+
+impl Record for BisectionRow {
+    fn columns() -> Vec<&'static str> {
+        vec!["kind", "nodes", "minimum", "average"]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.nodes.into(),
+            self.minimum.into(),
+            self.average.into(),
+        ]
+    }
+}
+
+impl Record for ConfigurationRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "kind",
+            "nodes",
+            "router_ports",
+            "links",
+            "requires_high_radix",
+            "supports_reconfiguration",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.nodes.into(),
+            self.router_ports.into(),
+            self.links.into(),
+            self.requires_high_radix.into(),
+            self.supports_reconfiguration.into(),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -637,8 +1021,14 @@ mod tests {
             1,
         )
         .unwrap();
-        let mesh = rows.iter().find(|r| r.kind == TopologyKind::DistributedMesh).unwrap();
-        let sf = rows.iter().find(|r| r.kind == TopologyKind::StringFigure).unwrap();
+        let mesh = rows
+            .iter()
+            .find(|r| r.kind == TopologyKind::DistributedMesh)
+            .unwrap();
+        let sf = rows
+            .iter()
+            .find(|r| r.kind == TopologyKind::StringFigure)
+            .unwrap();
         assert!(mesh.average_routed_hops > sf.average_routed_hops);
         assert!(sf.average_routed_hops < 8.0);
         assert_eq!(sf.router_ports, 8);
@@ -660,7 +1050,10 @@ mod tests {
         let sf = &rows[1];
         let mesh_sat = mesh.saturation_percent.unwrap_or(0.0);
         let sf_sat = sf.saturation_percent.unwrap_or(0.0);
-        assert!(sf_sat >= mesh_sat, "SF {sf_sat} should beat mesh {mesh_sat}");
+        assert!(
+            sf_sat >= mesh_sat,
+            "SF {sf_sat} should beat mesh {mesh_sat}"
+        );
     }
 
     #[test]
@@ -727,7 +1120,12 @@ mod tests {
         .unwrap();
         let mesh = &bisection[0];
         let sf = &bisection[1];
-        assert!(sf.minimum >= mesh.minimum, "SF {} vs mesh {}", sf.minimum, mesh.minimum);
+        assert!(
+            sf.minimum >= mesh.minimum,
+            "SF {} vs mesh {}",
+            sf.minimum,
+            mesh.minimum
+        );
 
         let config = configuration_table(&TopologyKind::ALL, &[64], 1).unwrap();
         assert_eq!(config.len(), 6);
@@ -747,7 +1145,15 @@ mod tests {
     #[test]
     fn socket_nodes_spread_evenly() {
         let sockets = socket_nodes(16, 4);
-        assert_eq!(sockets, vec![NodeId::new(0), NodeId::new(4), NodeId::new(8), NodeId::new(12)]);
+        assert_eq!(
+            sockets,
+            vec![
+                NodeId::new(0),
+                NodeId::new(4),
+                NodeId::new(8),
+                NodeId::new(12)
+            ]
+        );
         assert_eq!(socket_nodes(4, 10).len(), 4);
         assert_eq!(socket_nodes(100, 1), vec![NodeId::new(0)]);
     }
@@ -763,6 +1169,168 @@ mod tests {
     #[test]
     fn experiment_scales() {
         assert!(ExperimentScale::paper().max_cycles > ExperimentScale::quick().max_cycles);
-        assert!(ExperimentScale::quick().simulation_config().validate().is_ok());
+        assert!(ExperimentScale::quick()
+            .simulation_config()
+            .validate()
+            .is_ok());
+    }
+
+    /// The acceptance criterion of the harness refactor: running a study on
+    /// one worker and on many workers yields byte-for-byte identical rows.
+    #[test]
+    fn studies_are_bit_identical_serial_vs_parallel() {
+        let serial = PoolConfig::serial();
+        let parallel = PoolConfig::threads(4).with_chunk(2);
+
+        let surg_a = surg_path_length_study_with_pool(&serial, &[64, 100], 3).unwrap();
+        let surg_b = surg_path_length_study_with_pool(&parallel, &[64, 100], 3).unwrap();
+        assert_eq!(surg_a, surg_b);
+
+        let hops_a = hop_count_study_with_pool(
+            &serial,
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            &[64, 100],
+            50,
+            1,
+        )
+        .unwrap();
+        let hops_b = hop_count_study_with_pool(
+            &parallel,
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            &[64, 100],
+            50,
+            1,
+        )
+        .unwrap();
+        assert_eq!(hops_a, hops_b);
+
+        let curve_a = latency_curve_with_pool(
+            &serial,
+            TopologyKind::StringFigure,
+            32,
+            SyntheticPattern::UniformRandom,
+            &[0.02, 0.1, 0.2],
+            ExperimentScale::quick(),
+            5,
+        )
+        .unwrap();
+        let curve_b = latency_curve_with_pool(
+            &parallel,
+            TopologyKind::StringFigure,
+            32,
+            SyntheticPattern::UniformRandom,
+            &[0.02, 0.1, 0.2],
+            ExperimentScale::quick(),
+            5,
+        )
+        .unwrap();
+        assert_eq!(curve_a, curve_b);
+
+        let gate_a = power_gating_study_with_pool(
+            &serial,
+            48,
+            &[0.0, 0.25],
+            ApplicationModel::SparkGrep,
+            4,
+            ExperimentScale::quick(),
+            9,
+        )
+        .unwrap();
+        let gate_b = power_gating_study_with_pool(
+            &parallel,
+            48,
+            &[0.0, 0.25],
+            ApplicationModel::SparkGrep,
+            4,
+            ExperimentScale::quick(),
+            9,
+        )
+        .unwrap();
+        assert_eq!(gate_a, gate_b);
+
+        let sat_a = saturation_study_with_pool(
+            &serial,
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            36,
+            SyntheticPattern::UniformRandom,
+            &[0.02, 0.10, 0.30],
+            ExperimentScale::quick(),
+            3,
+        )
+        .unwrap();
+        let sat_b = saturation_study_with_pool(
+            &parallel,
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            36,
+            SyntheticPattern::UniformRandom,
+            &[0.02, 0.10, 0.30],
+            ExperimentScale::quick(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(sat_a, sat_b);
+
+        let work_a = workload_study_with_pool(
+            &serial,
+            &[TopologyKind::StringFigure],
+            &[ApplicationModel::Memcached],
+            32,
+            4,
+            ExperimentScale::quick(),
+            7,
+        )
+        .unwrap();
+        let work_b = workload_study_with_pool(
+            &parallel,
+            &[TopologyKind::StringFigure],
+            &[ApplicationModel::Memcached],
+            32,
+            4,
+            ExperimentScale::quick(),
+            7,
+        )
+        .unwrap();
+        assert_eq!(work_a, work_b);
+
+        let bisect_a = bisection_study_with_pool(
+            &serial,
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            36,
+            5,
+            2,
+        )
+        .unwrap();
+        let bisect_b = bisection_study_with_pool(
+            &parallel,
+            &[TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+            36,
+            5,
+            2,
+        )
+        .unwrap();
+        assert_eq!(bisect_a, bisect_b);
+    }
+
+    #[test]
+    fn cached_instances_are_shared_and_consistent() {
+        let first = cached_instance(TopologyKind::StringFigure, 40, 11).unwrap();
+        let second = cached_instance(TopologyKind::StringFigure, 40, 11).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let fresh = NetworkInstance::build(TopologyKind::StringFigure, 40, 11).unwrap();
+        assert_eq!(first.graph().edges(), fresh.graph().edges());
+    }
+
+    #[test]
+    fn rows_serialise_through_the_harness_table() {
+        let rows = configuration_table(&[TopologyKind::StringFigure], &[64], 1).unwrap();
+        let table = sf_harness::Table::from_records(&rows);
+        assert_eq!(table.columns[0], "kind");
+        let csv = table.to_csv();
+        assert!(csv.starts_with("kind,nodes,router_ports"));
+        assert_eq!(sf_harness::Table::from_csv(&csv).unwrap(), table);
+        assert_eq!(
+            sf_harness::Table::from_json(&table.to_json()).unwrap(),
+            table
+        );
     }
 }

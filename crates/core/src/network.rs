@@ -8,9 +8,7 @@
 //! caller having to wire the underlying crates together.
 
 use sf_netsim::{NetworkSimulator, SimulationStats, TrafficModel};
-use sf_routing::{
-    trace_route, GreediestOptions, GreediestRouting, RouteTrace, RoutingProtocol,
-};
+use sf_routing::{trace_route, GreediestOptions, GreediestRouting, RouteTrace, RoutingProtocol};
 use sf_topology::analysis::{self, PathLengthStats};
 use sf_topology::{GridPlacement, ReconfigurationDelta, StringFigureTopology};
 use sf_types::{
@@ -421,7 +419,11 @@ mod tests {
 
     #[test]
     fn builder_produces_consistent_network() {
-        let network = StringFigureBuilder::new(64).ports(4).seed(3).build().unwrap();
+        let network = StringFigureBuilder::new(64)
+            .ports(4)
+            .seed(3)
+            .build()
+            .unwrap();
         assert_eq!(network.num_nodes(), 64);
         assert_eq!(network.num_active_nodes(), 64);
         assert_eq!(network.active_capacity_gib(), 64 * 8);
@@ -433,11 +435,20 @@ mod tests {
     #[test]
     fn figure8_port_policy() {
         assert_eq!(
-            StringFigureNetwork::generate(128).unwrap().topology().config().ports,
+            StringFigureNetwork::generate(128)
+                .unwrap()
+                .topology()
+                .config()
+                .ports,
             4
         );
         assert_eq!(
-            StringFigureBuilder::new(256).build().unwrap().topology().config().ports,
+            StringFigureBuilder::new(256)
+                .build()
+                .unwrap()
+                .topology()
+                .config()
+                .ports,
             8
         );
     }

@@ -180,8 +180,7 @@ impl<'a> PowerManager<'a> {
             });
         }
         let mut rng = DeterministicRng::new(seed);
-        let mut candidates: Vec<NodeId> =
-            self.network.topology().graph().active_nodes().collect();
+        let mut candidates: Vec<NodeId> = self.network.topology().graph().active_nodes().collect();
         rng.shuffle(&mut candidates);
         let target = (candidates.len() as f64 * fraction).round() as usize;
         let mut gated = Vec::new();

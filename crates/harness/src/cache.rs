@@ -1,0 +1,171 @@
+//! Sharded, thread-safe build-once cache for expensive sweep artefacts.
+//!
+//! A parameter sweep frequently revisits the same topology: a saturation grid
+//! evaluates ten injection rates against one `(kind, nodes, seed)` graph, a
+//! latency curve reuses its instance per rate, and multi-pattern studies
+//! rebuild identical networks per pattern. [`BuildCache`] memoises those
+//! builds behind `Arc`s so concurrent jobs share one generated instance.
+//!
+//! The cache is sharded by key hash to keep lock contention off the worker
+//! pool's hot path, and each shard is bounded: when a shard exceeds its
+//! capacity it evicts *all* of its entries. That crude policy is deliberate —
+//! correctness never depends on a hit (builders are pure functions of the
+//! key), so eviction only costs a rebuild, and the all-at-once flush needs no
+//! per-entry bookkeeping.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+const DEFAULT_SHARDS: usize = 16;
+const DEFAULT_PER_SHARD_CAPACITY: usize = 64;
+
+/// A sharded map from sweep keys to shared build artefacts.
+#[derive(Debug)]
+pub struct BuildCache<K, V> {
+    shards: Vec<Mutex<HashMap<K, Arc<V>>>>,
+    per_shard_capacity: usize,
+}
+
+impl<K: Eq + Hash, V> Default for BuildCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash, V> BuildCache<K, V> {
+    /// A cache with the default shard count and capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shape(DEFAULT_SHARDS, DEFAULT_PER_SHARD_CAPACITY)
+    }
+
+    /// A cache with `shards` shards of at most `per_shard_capacity` entries.
+    #[must_use]
+    pub fn with_shape(shards: usize, per_shard_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity: per_shard_capacity.max(1),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Arc<V>>> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Returns the cached artefact for `key`, building it with `build` on a
+    /// miss.
+    ///
+    /// The build runs *outside* the shard lock, so a slow topology generation
+    /// never blocks other workers' lookups; if two workers race on the same
+    /// missing key, the first insert wins and the loser's build is dropped.
+    /// `build` must be a pure function of `key` for that to be sound — which
+    /// is exactly the determinism contract sweeps already obey.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; errors are not cached.
+    pub fn get_or_build<E>(&self, key: K, build: impl FnOnce() -> Result<V, E>) -> Result<Arc<V>, E>
+    where
+        K: Clone,
+    {
+        let shard = self.shard(&key);
+        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(build()?);
+        let mut guard = shard.lock().expect("cache shard poisoned");
+        if let Some(winner) = guard.get(&key) {
+            return Ok(Arc::clone(winner));
+        }
+        if guard.len() >= self.per_shard_capacity {
+            guard.clear();
+        }
+        guard.insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// Total entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn second_lookup_reuses_the_first_build() {
+        let cache: BuildCache<(u32, u32), String> = BuildCache::new();
+        let builds = AtomicUsize::new(0);
+        let build = || -> Result<String, ()> {
+            builds.fetch_add(1, Ordering::SeqCst);
+            Ok("artefact".to_string())
+        };
+        let a = cache.get_or_build((1, 2), build).unwrap();
+        let b = cache.get_or_build((1, 2), build).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache: BuildCache<u32, u32> = BuildCache::new();
+        let result: Result<_, &str> = cache.get_or_build(7, || Err("nope"));
+        assert!(result.is_err());
+        assert!(cache.is_empty());
+        let ok: Result<_, &str> = cache.get_or_build(7, || Ok(49));
+        assert_eq!(*ok.unwrap(), 49);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_rather_than_grows() {
+        let cache: BuildCache<u32, u32> = BuildCache::with_shape(1, 4);
+        for key in 0..40 {
+            let _ = cache.get_or_build::<()>(key, || Ok(key));
+        }
+        assert!(cache.len() <= 4);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_lookups_agree() {
+        let cache: BuildCache<u32, u32> = BuildCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for key in 0..32 {
+                        let value = cache.get_or_build::<()>(key, || Ok(key * 3)).unwrap();
+                        assert_eq!(*value, key * 3);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,205 @@
+//! `std::thread`-based worker pool with chunked distribution and per-job
+//! panic isolation.
+//!
+//! The pool executes `n` indexed jobs by handing out contiguous chunks of the
+//! index space through a shared atomic cursor: a worker grabs
+//! `[cursor, cursor + chunk)`, runs those jobs, and comes back for more.
+//! Chunking keeps the atomic traffic negligible for cheap jobs while the
+//! work-stealing-ish dynamic assignment keeps long jobs (large topologies)
+//! from serialising behind a static partition.
+//!
+//! Every job runs under `catch_unwind`, so a panicking job is reported as a
+//! [`JobError::Panic`] for *that index only* — the rest of the sweep
+//! completes. Results land in a slot vector indexed by job id, which is what
+//! makes a parallel run bit-identical to a serial one: output order is
+//! enumeration order, never completion order.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How a sweep is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Number of worker threads; `1` runs inline on the caller thread.
+    pub threads: usize,
+    /// Jobs handed to a worker per grab of the shared cursor.
+    pub chunk: usize,
+}
+
+impl PoolConfig {
+    /// Environment variable overriding the worker count (`0`/unset = auto).
+    pub const THREADS_ENV: &'static str = "SF_HARNESS_THREADS";
+
+    /// A pool with exactly `threads` workers.
+    #[must_use]
+    pub fn threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            chunk: 1,
+        }
+    }
+
+    /// Serial execution on the caller thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self::threads(1)
+    }
+
+    /// One worker per available CPU, overridable via
+    /// [`SF_HARNESS_THREADS`](Self::THREADS_ENV).
+    #[must_use]
+    pub fn auto() -> Self {
+        let from_env = std::env::var(Self::THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        Self::threads(threads)
+    }
+
+    /// Sets the chunk size (clamped to at least 1).
+    #[must_use]
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Why a job produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The job panicked; the payload is the panic message when it was a
+    /// string, or a placeholder otherwise.
+    Panic(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Panic(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `count` indexed jobs through `run`, returning one slot per index.
+///
+/// `run(i)` is called exactly once for every `i in 0..count`; the returned
+/// vector holds index `i`'s result at position `i` regardless of which worker
+/// executed it or when it finished. Panics inside `run` are captured as
+/// [`JobError::Panic`] in that job's slot.
+pub fn run_indexed<T, F>(config: &PoolConfig, count: usize, run: F) -> Vec<Result<T, JobError>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let execute = |index: usize| -> Result<T, JobError> {
+        catch_unwind(AssertUnwindSafe(|| run(index)))
+            .map_err(|payload| JobError::Panic(panic_message(payload.as_ref())))
+    };
+
+    if config.threads <= 1 || count <= 1 {
+        return (0..count).map(execute).collect();
+    }
+
+    let mut slots: Vec<Option<Result<T, JobError>>> = Vec::with_capacity(count);
+    slots.resize_with(count, || None);
+    let slots = Mutex::new(&mut slots);
+    let cursor = AtomicUsize::new(0);
+    let chunk = config.chunk.max(1);
+    let workers = config.threads.min(count);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= count {
+                    break;
+                }
+                let end = (start + chunk).min(count);
+                // Run the chunk without holding any lock, then publish the
+                // finished results into their slots in one short critical
+                // section.
+                let results: Vec<(usize, Result<T, JobError>)> =
+                    (start..end).map(|i| (i, execute(i))).collect();
+                let mut guard = slots.lock().expect("result mutex poisoned");
+                for (i, result) in results {
+                    guard[i] = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .drain(..)
+        .map(|slot| slot.expect("worker pool left a job slot empty"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_pool_has_at_least_one_thread() {
+        assert!(PoolConfig::auto().threads >= 1);
+        assert_eq!(PoolConfig::serial().threads, 1);
+        assert_eq!(PoolConfig::threads(0).threads, 1);
+        assert_eq!(PoolConfig::threads(4).with_chunk(0).chunk, 1);
+    }
+
+    #[test]
+    fn parallel_results_are_in_index_order() {
+        let config = PoolConfig::threads(8).with_chunk(3);
+        let results = run_indexed(&config, 100, |i| i * 2);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * 2);
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_to_their_slot() {
+        let config = PoolConfig::threads(4);
+        let results = run_indexed(&config, 10, |i| {
+            assert!(i != 7, "job seven exploded");
+            i
+        });
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                let err = r.as_ref().unwrap_err();
+                let JobError::Panic(msg) = err;
+                assert!(msg.contains("job seven exploded"), "{msg}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let results = run_indexed(&PoolConfig::threads(4), 0, |i| i);
+        assert!(results.is_empty());
+    }
+}

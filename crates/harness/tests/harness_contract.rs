@@ -1,0 +1,154 @@
+//! Contract tests for `sf-harness`: a parallel sweep is bit-identical to a
+//! serial one, one panicking job never poisons the rest of the sweep, and the
+//! CSV/JSON emitters round-trip exactly.
+
+use sf_harness::pool::PoolConfig;
+use sf_harness::sweep::{cross3, Sweep, SweepError};
+use sf_harness::table::{Record, Table, Value};
+use sf_harness::BuildCache;
+use std::sync::Arc;
+
+/// A miniature "experiment": deterministic pseudo-simulation whose result
+/// depends on the point and the derived seed, with enough arithmetic that
+/// reordered floating-point accumulation would be detectable.
+fn fake_experiment(nodes: usize, rate_millis: usize, seed: u64) -> f64 {
+    let mut accumulator = 0.0f64;
+    let mut state = seed ^ (nodes as u64) << 3 ^ rate_millis as u64;
+    for _ in 0..200 {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        accumulator += (state >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    accumulator * rate_millis as f64 / nodes as f64
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let points = cross3(&[16usize, 32, 64], &[20usize, 50, 100, 200], &[1u64, 2, 3]);
+    let sweep = Sweep::new(points).with_base_seed(2019);
+
+    let serial = sweep
+        .run(&PoolConfig::serial(), |ctx, &(nodes, rate, seed)| {
+            Ok::<(usize, u64, f64), SweepError<()>>((
+                ctx.index,
+                ctx.seed,
+                fake_experiment(nodes, rate, seed ^ ctx.seed),
+            ))
+        })
+        .into_results()
+        .unwrap();
+
+    for threads in [2, 4, 8] {
+        let parallel = sweep
+            .run(
+                &PoolConfig::threads(threads).with_chunk(2),
+                |ctx, &(nodes, rate, seed)| {
+                    Ok::<(usize, u64, f64), SweepError<()>>((
+                        ctx.index,
+                        ctx.seed,
+                        fake_experiment(nodes, rate, seed ^ ctx.seed),
+                    ))
+                },
+            )
+            .into_results()
+            .unwrap();
+        // Bit-identical: same rows, same order, same derived seeds — compare
+        // float bits, not approximate values.
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.0, p.0);
+            assert_eq!(s.1, p.1);
+            assert_eq!(s.2.to_bits(), p.2.to_bits(), "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn one_panicking_job_does_not_poison_the_sweep() {
+    let sweep = Sweep::new((0..50u32).collect::<Vec<_>>());
+    let report = sweep.run(&PoolConfig::threads(4), |_, &n| {
+        assert!(n != 13, "unlucky point");
+        Ok::<u32, SweepError<()>>(n * n)
+    });
+
+    assert_eq!(report.succeeded(), 49);
+    assert_eq!(report.failed(), 1);
+    for outcome in &report.outcomes {
+        if outcome.index == 13 {
+            match &outcome.result {
+                Err(SweepError::Panic(msg)) => assert!(msg.contains("unlucky point")),
+                other => panic!("expected a panic outcome, got {other:?}"),
+            }
+        } else {
+            assert_eq!(
+                *outcome.result.as_ref().unwrap(),
+                (outcome.index * outcome.index) as u32
+            );
+        }
+    }
+}
+
+struct SweepRow {
+    design: String,
+    nodes: usize,
+    latency: f64,
+    saturation: Option<f64>,
+}
+
+impl Record for SweepRow {
+    fn columns() -> Vec<&'static str> {
+        vec!["design", "nodes", "latency_cycles", "saturation_percent"]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.design.clone().into(),
+            self.nodes.into(),
+            self.latency.into(),
+            self.saturation.into(),
+        ]
+    }
+}
+
+#[test]
+fn emitters_round_trip_sweep_results() {
+    let sweep = Sweep::new(cross3(&["SF", "DM"], &[64usize, 256], &[0u64]));
+    let rows: Vec<SweepRow> = sweep
+        .run(&PoolConfig::threads(3), |ctx, &(design, nodes, seed)| {
+            Ok::<SweepRow, SweepError<()>>(SweepRow {
+                design: design.to_string(),
+                nodes,
+                latency: fake_experiment(nodes, 50, seed ^ ctx.seed),
+                saturation: if design == "SF" { Some(62.5) } else { None },
+            })
+        })
+        .into_results()
+        .unwrap();
+
+    let table = Table::from_records(&rows);
+    assert_eq!(table.len(), 4);
+    assert_eq!(Table::from_csv(&table.to_csv()).unwrap(), table);
+    assert_eq!(Table::from_json(&table.to_json()).unwrap(), table);
+}
+
+#[test]
+fn cache_shares_builds_across_parallel_jobs() {
+    let cache: Arc<BuildCache<(usize, u64), Vec<u64>>> = Arc::new(BuildCache::new());
+    // Ten distinct keys revisited by sixty jobs: every job must observe the
+    // same artefact contents no matter which worker built it.
+    let sweep = Sweep::new((0..60usize).collect::<Vec<_>>());
+    let report = sweep.run(&PoolConfig::threads(6), |_, &i| {
+        let key = (i % 10, (i % 10) as u64);
+        let artefact = cache
+            .get_or_build::<()>(key, || Ok((0..key.0 as u64).map(|x| x * key.1).collect()))
+            .expect("infallible build");
+        Ok::<u64, SweepError<()>>(artefact.iter().sum())
+    });
+    let sums = report.into_results().unwrap();
+    for (i, sum) in sums.iter().enumerate() {
+        let k = (i % 10) as u64;
+        let expected: u64 = (0..k).map(|x| x * k).sum();
+        assert_eq!(*sum, expected);
+    }
+    assert_eq!(cache.len(), 10);
+}

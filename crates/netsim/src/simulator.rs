@@ -551,7 +551,8 @@ impl NetworkSimulator {
             PacketKind::ReadRequest | PacketKind::WriteRequest => {
                 // Service the DRAM access and schedule the reply.
                 let address = packet.id.wrapping_mul(64) % (1 << 33);
-                let service = self.memory[node].access(address, packet.kind == PacketKind::WriteRequest);
+                let service =
+                    self.memory[node].access(address, packet.kind == PacketKind::WriteRequest);
                 if measuring {
                     self.stats.dram_energy_pj += self
                         .system
@@ -746,8 +747,7 @@ mod tests {
 
     #[test]
     fn traffic_to_gated_node_is_an_error() {
-        let mut topo =
-            StringFigureTopology::generate(&NetworkConfig::new(24, 4).unwrap()).unwrap();
+        let mut topo = StringFigureTopology::generate(&NetworkConfig::new(24, 4).unwrap()).unwrap();
         topo.gate_node(NodeId::new(3)).unwrap();
         let mut routing = GreediestRouting::new(&topo);
         routing.resync(topo.graph(), topo.spaces());

@@ -316,7 +316,7 @@ impl RoutingProtocol for GreediestRouting {
             best
         };
 
-        improving.sort_by(|a, b| a.0.cmp(&b.0));
+        improving.sort_by_key(|a| a.0);
         let scored: Vec<(NodeId, f64, f64)> = improving
             .iter()
             .map(|&(w, md)| (w, md, score(w, md)))
@@ -367,8 +367,7 @@ mod tests {
 
     fn example() -> (StringFigureTopology, GreediestRouting) {
         let config = NetworkConfig::new(9, 4).unwrap();
-        let topo =
-            StringFigureTopology::from_spaces(config, paper_figure3_example()).unwrap();
+        let topo = StringFigureTopology::from_spaces(config, paper_figure3_example()).unwrap();
         let routing = GreediestRouting::new(&topo);
         (topo, routing)
     }
@@ -439,7 +438,12 @@ mod tests {
         let (topo, routing) = example();
         let neighbor = topo.graph().active_neighbors(n(0))[0];
         let hop = routing
-            .next_hop(n(0), neighbor, &crate::protocol::ZeroLoad, &RoutingContext::default())
+            .next_hop(
+                n(0),
+                neighbor,
+                &crate::protocol::ZeroLoad,
+                &RoutingContext::default(),
+            )
             .unwrap();
         assert_eq!(hop, neighbor);
     }
@@ -448,7 +452,12 @@ mod tests {
     fn self_destination_returns_self() {
         let (_, routing) = example();
         let hop = routing
-            .next_hop(n(4), n(4), &crate::protocol::ZeroLoad, &RoutingContext::default())
+            .next_hop(
+                n(4),
+                n(4),
+                &crate::protocol::ZeroLoad,
+                &RoutingContext::default(),
+            )
             .unwrap();
         assert_eq!(hop, n(4));
     }
@@ -605,9 +614,7 @@ mod tests {
                     continue;
                 }
                 let vc = routing.virtual_channel(n(s), n(t), n(t));
-                let (space, _) = topo
-                    .coordinates(n(s))
-                    .closest_space(topo.coordinates(n(t)));
+                let (space, _) = topo.coordinates(n(s)).closest_space(topo.coordinates(n(t)));
                 let up = topo.coordinates(n(t)).coordinate(space)
                     >= topo.coordinates(n(s)).coordinate(space);
                 assert_eq!(vc == VirtualChannelId::UP, up);

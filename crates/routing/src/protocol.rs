@@ -276,7 +276,12 @@ mod tests {
     #[test]
     fn loop_detection_in_trace() {
         let trace = RouteTrace {
-            path: vec![NodeId::new(0), NodeId::new(1), NodeId::new(0), NodeId::new(2)],
+            path: vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(0),
+                NodeId::new(2),
+            ],
         };
         assert!(trace.has_loop());
         assert_eq!(trace.hops(), 3);

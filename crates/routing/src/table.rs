@@ -296,10 +296,8 @@ impl RoutingTable {
     fn flip<F: FnMut(&mut RoutingTableEntry) -> bool>(&mut self, node: NodeId, mut f: F) -> usize {
         let mut changed = 0;
         for e in &mut self.entries {
-            if e.neighbor == node || e.via == node {
-                if f(e) {
-                    changed += 1;
-                }
+            if (e.neighbor == node || e.via == node) && f(e) {
+                changed += 1;
             }
         }
         changed

@@ -1,0 +1,25 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no crates.io access, so this
+//! shim provides exactly the subset of serde's surface the workspace uses:
+//! the `Serialize` / `Deserialize` trait names (as markers, blanket-implemented
+//! for every type) and the matching no-op derive macros. The workspace never
+//! calls serde's data model — machine-readable output goes through
+//! `sf-harness`'s hand-rolled CSV/JSON emitters instead — so marker semantics
+//! are sufficient. Swapping this shim for real serde is a one-line change in
+//! the root `Cargo.toml` once a registry is reachable.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`; blanket-implemented so derive
+/// bounds and `T: Serialize` constraints always hold.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

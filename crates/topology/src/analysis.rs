@@ -190,17 +190,17 @@ pub fn max_flow_between(graph: &AdjacencyGraph, side_a: &[NodeId], side_b: &[Nod
         vec![std::collections::HashMap::new(); total];
 
     let add_edge = |cap: &mut Vec<Vec<(usize, u64)>>,
-                        index: &mut Vec<std::collections::HashMap<usize, usize>>,
-                        u: usize,
-                        v: usize,
-                        c: u64| {
+                    index: &mut Vec<std::collections::HashMap<usize, usize>>,
+                    u: usize,
+                    v: usize,
+                    c: u64| {
         if let Some(&i) = index[u].get(&v) {
             cap[u][i].1 += c;
         } else {
             index[u].insert(v, cap[u].len());
             cap[u].push((v, c));
         }
-        if index[v].get(&u).is_none() {
+        if !index[v].contains_key(&u) {
             index[v].insert(u, cap[v].len());
             cap[v].push((u, 0));
         }

@@ -157,10 +157,7 @@ impl StringFigureTopology {
         let ports = config.ports;
         let free = |graph: &AdjacencyGraph, node: NodeId| ports.saturating_sub(graph.degree(node));
         loop {
-            let candidates: Vec<NodeId> = graph
-                .nodes()
-                .filter(|&v| free(&graph, v) > 0)
-                .collect();
+            let candidates: Vec<NodeId> = graph.nodes().filter(|&v| free(&graph, v) > 0).collect();
             if candidates.len() < 2 {
                 break;
             }
@@ -171,7 +168,7 @@ impl StringFigureTopology {
                         continue;
                     }
                     let d = spaces.space_distance(SpaceId::new(0), u, v);
-                    if best.map_or(true, |(_, _, bd)| d > bd) {
+                    if best.is_none_or(|(_, _, bd)| d > bd) {
                         best = Some((u, v, d));
                     }
                 }
@@ -199,7 +196,13 @@ impl StringFigureTopology {
                     if target <= node {
                         continue; // only connect towards larger node numbers
                     }
-                    let wire = Edge::new(node, target, EdgeKind::Shortcut { ring_hops: hops as u8 });
+                    let wire = Edge::new(
+                        node,
+                        target,
+                        EdgeKind::Shortcut {
+                            ring_hops: hops as u8,
+                        },
+                    );
                     let duplicate_basic = graph.has_edge(node, target);
                     let duplicate_shortcut = shortcut_wires
                         .iter()
@@ -353,7 +356,10 @@ impl StringFigureTopology {
         let affected_neighbors = self.graph.active_neighbors(node);
         self.graph.set_active(node, false)?;
         let (enabled, disabled) = self.sync_reconfigurable_links()?;
-        debug_assert!(self.graph.is_connected(), "ring healing keeps the network connected");
+        debug_assert!(
+            self.graph.is_connected(),
+            "ring healing keeps the network connected"
+        );
         Ok(ReconfigurationDelta {
             node,
             gated: true,
@@ -468,7 +474,13 @@ impl StringFigureTopology {
         for (a, b) in stale {
             let (u, v) = (NodeId::new(a), NodeId::new(b));
             if self.graph.remove_edge(u, v) {
-                disabled.push(Edge::new(u, v, EdgeKind::RingHealing { space: SpaceId::new(0) }));
+                disabled.push(Edge::new(
+                    u,
+                    v,
+                    EdgeKind::RingHealing {
+                        space: SpaceId::new(0),
+                    },
+                ));
             }
             self.healing_links.remove(&(a, b));
         }
@@ -647,11 +659,7 @@ mod tests {
     fn at_most_two_shortcuts_per_node() {
         let topo = StringFigureTopology::generate(&small_config(128, 4)).unwrap();
         for v in topo.graph().nodes() {
-            let count = topo
-                .shortcut_wires()
-                .iter()
-                .filter(|e| e.a == v)
-                .count();
+            let count = topo.shortcut_wires().iter().filter(|e| e.a == v).count();
             assert!(count <= 2, "node {v} originates {count} shortcuts");
         }
     }
@@ -759,7 +767,10 @@ mod tests {
     fn ports_in_use_and_free_ports_account() {
         let topo = StringFigureTopology::generate(&small_config(64, 4)).unwrap();
         for v in topo.graph().nodes() {
-            assert_eq!(topo.ports_in_use(v) + topo.free_ports(v), 4.max(topo.ports_in_use(v)));
+            assert_eq!(
+                topo.ports_in_use(v) + topo.free_ports(v),
+                4.max(topo.ports_in_use(v))
+            );
         }
     }
 

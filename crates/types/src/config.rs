@@ -283,7 +283,10 @@ impl NetworkConfig {
     pub fn validate(&self) -> SfResult<()> {
         if self.nodes < 2 {
             return Err(SfError::InvalidConfiguration {
-                reason: format!("a memory network needs at least 2 nodes, got {}", self.nodes),
+                reason: format!(
+                    "a memory network needs at least 2 nodes, got {}",
+                    self.nodes
+                ),
             });
         }
         if self.ports < 2 {
@@ -448,8 +451,10 @@ mod tests {
         assert!(NetworkConfig::new(1, 4).is_err());
         assert!(NetworkConfig::new(16, 1).is_err());
         assert!(NetworkConfig::new(16, 2).is_ok());
-        let mut c = NetworkConfig::default();
-        c.balance_candidates = 0;
+        let c = NetworkConfig {
+            balance_candidates: 0,
+            ..NetworkConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -479,17 +484,25 @@ mod tests {
     #[test]
     fn simulation_config_validation() {
         assert!(SimulationConfig::default().validate().is_ok());
-        let mut c = SimulationConfig::default();
-        c.virtual_channels = 0;
+        let c = SimulationConfig {
+            virtual_channels: 0,
+            ..SimulationConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimulationConfig::default();
-        c.vc_queue_capacity = 0;
+        let c = SimulationConfig {
+            vc_queue_capacity: 0,
+            ..SimulationConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimulationConfig::default();
-        c.adaptive_threshold = 0.0;
+        let c = SimulationConfig {
+            adaptive_threshold: 0.0,
+            ..SimulationConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SimulationConfig::default();
-        c.adaptive_threshold = 1.5;
+        let c = SimulationConfig {
+            adaptive_threshold: 1.5,
+            ..SimulationConfig::default()
+        };
         assert!(c.validate().is_err());
         let mut c = SimulationConfig::default();
         c.warmup_cycles = c.max_cycles;

@@ -97,7 +97,9 @@ impl Eq for Coordinate {}
 impl Ord for Coordinate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Coordinates are always finite by construction, so total order is safe.
-        self.0.partial_cmp(&other.0).expect("coordinates are finite")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("coordinates are finite")
     }
 }
 

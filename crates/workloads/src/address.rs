@@ -50,7 +50,7 @@ impl AddressMapper {
                 reason: "address mapper parameters must be non-zero".to_string(),
             });
         }
-        if node_capacity_bytes % interleave_bytes != 0 {
+        if !node_capacity_bytes.is_multiple_of(interleave_bytes) {
             return Err(SfError::InvalidConfiguration {
                 reason: format!(
                     "node capacity {node_capacity_bytes} is not a multiple of the interleave \
@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn all_nodes_receive_addresses() {
         let m = AddressMapper::paper_default(17).unwrap();
-        let mut seen = vec![false; 17];
+        let mut seen = [false; 17];
         for i in 0..1000u64 {
             seen[m.node_of(i * 64).index()] = true;
         }

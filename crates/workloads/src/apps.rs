@@ -437,8 +437,8 @@ impl WorkloadTraffic {
         let mut injectors = HashMap::new();
         // Size the per-injector working set to a slice of the memory pool,
         // capped so address arithmetic stays fast.
-        let working_set = (mapper.total_capacity_bytes() / injector_nodes.len() as u64)
-            .clamp(1 << 20, 1 << 32);
+        let working_set =
+            (mapper.total_capacity_bytes() / injector_nodes.len() as u64).clamp(1 << 20, 1 << 32);
         for (i, node) in injector_nodes.iter().enumerate() {
             if node.index() >= mapper.num_nodes() {
                 return Err(SfError::InvalidConfiguration {

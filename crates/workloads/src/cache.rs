@@ -34,7 +34,7 @@ impl CacheLevelConfig {
             });
         }
         let way_bytes = self.associativity * self.line_bytes;
-        if self.capacity_bytes % way_bytes != 0 {
+        if !self.capacity_bytes.is_multiple_of(way_bytes) {
             return Err(SfError::InvalidConfiguration {
                 reason: format!(
                     "cache capacity {} is not a multiple of ways x line size {}",
@@ -166,8 +166,7 @@ impl CacheHierarchy {
                 reason: "a cache hierarchy needs at least one level".to_string(),
             });
         }
-        let built: SfResult<Vec<CacheLevel>> =
-            levels.iter().map(|&c| CacheLevel::new(c)).collect();
+        let built: SfResult<Vec<CacheLevel>> = levels.iter().map(|&c| CacheLevel::new(c)).collect();
         let built = built?;
         let stats = CacheStats {
             hits: vec![0; built.len()],

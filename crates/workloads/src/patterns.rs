@@ -216,8 +216,8 @@ mod tests {
 
     #[test]
     fn hotspot_targets_single_node() {
-        let mut h = PatternTraffic::new(SyntheticPattern::Hotspot, 32, 1.0, 1)
-            .with_hotspot_target(n(7));
+        let mut h =
+            PatternTraffic::new(SyntheticPattern::Hotspot, 32, 1.0, 1).with_hotspot_target(n(7));
         for i in 0..32 {
             assert_eq!(h.destination(n(i)), n(7));
         }
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn uniform_random_covers_the_network() {
         let mut u = PatternTraffic::new(SyntheticPattern::UniformRandom, 16, 1.0, 3);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for _ in 0..1000 {
             seen[u.destination(n(0)).index()] = true;
         }

@@ -54,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  routers whose tables changed : {}",
-        report.events.iter().map(|e| e.routers_updated).sum::<usize>()
+        report
+            .events
+            .iter()
+            .map(|e| e.routers_updated)
+            .sum::<usize>()
     );
     println!(
         "  shortcuts switched on        : {}",
@@ -67,10 +71,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let gated_stats = network.path_stats();
     let gated_sim = network.run_pattern(SyntheticPattern::UniformRandom, 0.08, 1)?;
-    println!("\nDown-scaled network ({} nodes)", network.num_active_nodes());
-    println!("  capacity              : {} GiB", network.active_capacity_gib());
+    println!(
+        "\nDown-scaled network ({} nodes)",
+        network.num_active_nodes()
+    );
+    println!(
+        "  capacity              : {} GiB",
+        network.active_capacity_gib()
+    );
     println!("  average shortest path : {:.2} hops", gated_stats.average);
-    println!("  unreachable pairs     : {}", gated_stats.unreachable_pairs);
+    println!(
+        "  unreachable pairs     : {}",
+        gated_stats.unreachable_pairs
+    );
     println!(
         "  simulated latency     : {:.1} cycles",
         gated_sim.average_latency_cycles()

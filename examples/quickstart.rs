@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("String Figure memory network");
     println!("  memory nodes      : {}", network.num_nodes());
-    println!("  capacity          : {} GiB", network.active_capacity_gib());
+    println!(
+        "  capacity          : {} GiB",
+        network.active_capacity_gib()
+    );
     println!(
         "  router ports      : {}",
         network.topology().config().ports
@@ -53,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = network.path_stats();
     println!("\nPath lengths (graph metric)");
     println!("  average : {:.2} hops", stats.average);
-    println!("  p10/p50/p90 : {} / {} / {}", stats.p10, stats.p50, stats.p90);
+    println!(
+        "  p10/p50/p90 : {} / {} / {}",
+        stats.p10, stats.p50, stats.p90
+    );
     println!("  diameter: {} hops", stats.diameter);
 
     // ------------------------------------------------------------------

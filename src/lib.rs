@@ -1,0 +1,11 @@
+//! Workspace-level facade for the String Figure (HPCA 2019) reproduction.
+//!
+//! The real code lives in the `crates/` workspace members; this root package
+//! exists to host the cross-crate integration tests in `tests/` and the
+//! runnable examples in `examples/`. It re-exports the user-facing crate so
+//! `cargo doc` from the root lands somewhere useful.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use stringfigure;

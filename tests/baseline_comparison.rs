@@ -2,12 +2,12 @@
 //! evaluation reports must hold in this reproduction (who wins, and roughly
 //! by how much), at reduced scale so the suite stays fast.
 
+use sf_workloads::SyntheticPattern;
 use stringfigure::experiments::{
-    bisection_study, configuration_table, hop_count_study, saturation_study, surg_path_length_study,
-    ExperimentScale,
+    bisection_study, configuration_table, hop_count_study, saturation_study,
+    surg_path_length_study, ExperimentScale,
 };
 use stringfigure::{NetworkInstance, TopologyKind};
-use sf_workloads::SyntheticPattern;
 
 #[test]
 fn figure5_trend_random_topologies_have_flat_path_length_scaling() {
@@ -36,7 +36,8 @@ fn figure9a_trend_mesh_hops_blow_up_but_sf_stays_flat() {
             .unwrap()
             .average_routed_hops
     };
-    let dm_growth = get(TopologyKind::DistributedMesh, 256) / get(TopologyKind::DistributedMesh, 64);
+    let dm_growth =
+        get(TopologyKind::DistributedMesh, 256) / get(TopologyKind::DistributedMesh, 64);
     let sf_growth = get(TopologyKind::StringFigure, 256) / get(TopologyKind::StringFigure, 64);
     assert!(
         dm_growth > sf_growth,

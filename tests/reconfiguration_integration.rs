@@ -136,6 +136,9 @@ fn gating_rejections_do_not_corrupt_state() {
         }
         network.check_invariants().unwrap();
     }
-    assert!(rejected > 0, "some gatings must be rejected to avoid disconnection");
+    assert!(
+        rejected > 0,
+        "some gatings must be rejected to avoid disconnection"
+    );
     assert!(network.num_active_nodes() >= 2);
 }
