@@ -23,4 +23,21 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+if [[ "${1:-}" != "--quick" ]]; then
+    # Smoke the full stack with BOTH parallelism layers forced on: a
+    # 2-worker sweep pool around 2-shard cycle-level simulations. The run's
+    # artifact must be byte-identical to the fully serial run — that is the
+    # determinism contract of sf-harness and sf-simcore.
+    echo "==> fig10_saturation --quick smoke (2 sweep workers x 2 sim shards)"
+    serial_csv="$(mktemp)"
+    sharded_csv="$(mktemp)"
+    SF_HARNESS_THREADS=1 SF_SIM_SHARDS=1 \
+        cargo run --release -q -p sf-bench --bin fig10_saturation -- --quick --csv "$serial_csv" >/dev/null
+    SF_HARNESS_THREADS=2 SF_SIM_SHARDS=2 \
+        cargo run --release -q -p sf-bench --bin fig10_saturation -- --quick --csv "$sharded_csv" >/dev/null
+    cmp "$serial_csv" "$sharded_csv"
+    rm -f "$serial_csv" "$sharded_csv"
+    echo "==> smoke artifacts byte-identical"
+fi
+
 echo "==> CI green"

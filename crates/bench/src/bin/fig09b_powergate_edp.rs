@@ -6,7 +6,7 @@
 //!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode, shard_override};
 use sf_harness::table::{Record, Table};
 use sf_workloads::ApplicationModel;
 use stringfigure::experiments::{power_gating_study, ExperimentScale, PowerGateRow};
@@ -20,8 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentScale {
             max_cycles: 8_000,
             warmup_cycles: 1_000,
+            ..ExperimentScale::paper()
         }
-    };
+    }
+    .with_shards(shard_override());
     let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
     let workloads: &[ApplicationModel] = if quick {
         &[ApplicationModel::SparkWordcount, ApplicationModel::Redis]

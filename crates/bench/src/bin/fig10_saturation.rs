@@ -6,7 +6,7 @@
 //!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{announce_pool, emit_records, fmt_percent, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_percent, print_table, quick_mode, shard_override};
 use sf_workloads::SyntheticPattern;
 use stringfigure::experiments::{saturation_study, ExperimentScale};
 use stringfigure::TopologyKind;
@@ -29,8 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentScale {
             max_cycles: 6_000,
             warmup_cycles: 800,
+            ..ExperimentScale::paper()
         }
-    };
+    }
+    .with_shards(shard_override());
     let patterns = [
         SyntheticPattern::UniformRandom,
         SyntheticPattern::Hotspot,

@@ -6,7 +6,7 @@
 //!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode, shard_override};
 use sf_harness::table::{Record, Table};
 use sf_workloads::SyntheticPattern;
 use stringfigure::experiments::LatencyPoint;
@@ -27,8 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentScale {
             max_cycles: 6_000,
             warmup_cycles: 800,
+            ..ExperimentScale::paper()
         }
-    };
+    }
+    .with_shards(shard_override());
     let kinds = if quick {
         vec![TopologyKind::DistributedMesh, TopologyKind::StringFigure]
     } else {

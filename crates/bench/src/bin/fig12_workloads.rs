@@ -6,7 +6,7 @@
 //!     [-- --quick] [--csv out.csv] [--json out.json]
 //! ```
 
-use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
+use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode, shard_override};
 use sf_workloads::ApplicationModel;
 use stringfigure::experiments::{workload_study, ExperimentScale};
 use stringfigure::TopologyKind;
@@ -20,8 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentScale {
             max_cycles: 8_000,
             warmup_cycles: 1_000,
+            ..ExperimentScale::paper()
         }
-    };
+    }
+    .with_shards(shard_override());
     let workloads: Vec<ApplicationModel> = if quick {
         vec![ApplicationModel::SparkWordcount, ApplicationModel::Redis]
     } else {

@@ -89,15 +89,44 @@ pub fn arg_value(flag: &str) -> Option<String> {
     None
 }
 
-/// Prints how the sweep engine will execute this run (worker count and the
-/// environment knob that controls it).
+/// Prints how the two parallelism layers will execute this run: sweep-level
+/// workers (`sf-harness`) and intra-simulation router shards (`sf-simcore`),
+/// plus the knobs that control them. The layers share one core budget
+/// (`SF_CORES`), so a sweep that claims W workers leaves `budget / W` cores
+/// for each job's shards.
 pub fn announce_pool() {
     let pool = sf_harness::PoolConfig::auto();
     eprintln!(
-        "# sf-harness: {} worker(s) (override with {}=N)",
+        "# sf-harness: {} sweep worker(s) (override with {}=N)",
         pool.threads,
         sf_harness::PoolConfig::THREADS_ENV
     );
+    // Mirror resolve_shard_count's precedence: --shards beats the
+    // environment variable beats the automatic policy.
+    let flag = shard_override();
+    let env_shards = sf_netsim::shard::env_shard_override();
+    let policy = if flag > 0 {
+        format!("{flag} (from --shards)")
+    } else if let Some(shards) = env_shards {
+        format!("{shards} (from {})", sf_netsim::shard::SHARDS_ENV)
+    } else {
+        format!(
+            "auto over a {}-core budget (override with {}=N, --shards N, or {}=N)",
+            sf_harness::budget::total_cores(),
+            sf_netsim::shard::SHARDS_ENV,
+            sf_harness::budget::CORES_ENV,
+        )
+    };
+    eprintln!("# sf-simcore: simulation shards per job: {policy}");
+}
+
+/// The intra-simulation shard count requested with `--shards N` on the
+/// command line (`0` = not given, let the automatic policy decide).
+#[must_use]
+pub fn shard_override() -> usize {
+    arg_value("--shards")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 /// Writes `table` to the paths given by `--csv PATH` and/or `--json PATH`.

@@ -106,6 +106,10 @@ pub struct ExperimentScale {
     pub max_cycles: u64,
     /// Warm-up cycles excluded from the statistics.
     pub warmup_cycles: u64,
+    /// Router shards the cycle loop of each simulation is split across
+    /// (`0` = auto from the shared core budget). Any value produces
+    /// bit-identical rows; the knob only trades wall-clock time.
+    pub shards: usize,
 }
 
 impl ExperimentScale {
@@ -115,6 +119,7 @@ impl ExperimentScale {
         Self {
             max_cycles: 1_200,
             warmup_cycles: 200,
+            shards: 0,
         }
     }
 
@@ -124,7 +129,16 @@ impl ExperimentScale {
         Self {
             max_cycles: 20_000,
             warmup_cycles: 2_000,
+            shards: 0,
         }
+    }
+
+    /// Returns a copy with an explicit intra-simulation shard count
+    /// (`0` restores automatic selection).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The corresponding simulator configuration.
@@ -133,6 +147,7 @@ impl ExperimentScale {
         SimulationConfig {
             max_cycles: self.max_cycles,
             warmup_cycles: self.warmup_cycles,
+            shards: self.shards,
             ..SimulationConfig::default()
         }
     }

@@ -22,7 +22,11 @@
 //!   machine-readable artifacts without external dependencies.
 //! * [`cache`] — a sharded, thread-safe build-once cache so repeated points
 //!   at the same (kind, size, seed) reuse the generated topology instead of
-//!   regenerating it per job.
+//!   regenerating it per job. Eviction is cost-aware LRU: cheap-to-rebuild
+//!   entries go first, so paper-scale topologies stay resident.
+//! * [`budget`] — the process-wide core budget shared between sweep-level
+//!   workers and the intra-job simulation shards of `sf-simcore`, so the two
+//!   parallelism layers never oversubscribe the machine together.
 //!
 //! ## Example
 //!
@@ -43,12 +47,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 pub mod cache;
 pub mod pool;
 pub mod sweep;
 pub mod table;
 
+pub use budget::CoreBudget;
 pub use cache::BuildCache;
 pub use pool::{JobError, PoolConfig};
-pub use sweep::{derive_seed, JobCtx, JobOutcome, Sweep, SweepReport};
+pub use sweep::{derive_seed, JobCtx, JobOutcome, LazySweep, Sweep, SweepReport};
 pub use table::{Record, Table, Value};

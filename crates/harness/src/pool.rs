@@ -15,7 +15,6 @@
 //! enumeration order, never completion order.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// How a sweep is executed.
@@ -46,17 +45,15 @@ impl PoolConfig {
         Self::threads(1)
     }
 
-    /// One worker per available CPU, overridable via
-    /// [`SF_HARNESS_THREADS`](Self::THREADS_ENV).
+    /// One worker per core of the shared budget (`SF_CORES`, default: the
+    /// number of available CPUs), overridable via
+    /// [`SF_HARNESS_THREADS`](Self::THREADS_ENV). Respecting the budget here
+    /// keeps the pool consistent with what `budget::total_cores` declares to
+    /// the intra-simulation shard layer.
     #[must_use]
     pub fn auto() -> Self {
-        let from_env = std::env::var(Self::THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0);
-        let threads = from_env.unwrap_or_else(|| {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-        });
+        let threads = crate::budget::env_positive_usize(Self::THREADS_ENV)
+            .unwrap_or_else(crate::budget::total_cores);
         Self::threads(threads)
     }
 
@@ -92,7 +89,7 @@ impl std::fmt::Display for JobError {
 
 impl std::error::Error for JobError {}
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -100,6 +97,87 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_string()
     }
+}
+
+/// The one chunk-pulling scheduler behind both [`run_indexed`] and the sweep
+/// engines (`Sweep`/`LazySweep` in [`crate::sweep`]).
+///
+/// Pulls `(index, item)` pairs from `stream` under a lock, runs `execute` on
+/// worker threads, and returns results in pull (= enumeration) order —
+/// regardless of which worker ran what, which is the determinism contract.
+/// When the iterator reports an exact size, the worker count (and its
+/// reservation against the shared core budget) is clamped to it, so a
+/// two-point sweep on a 16-core host claims two workers, not sixteen —
+/// leaving the rest of the budget to intra-job simulation shards.
+///
+/// `execute` must not panic; per-job panic isolation is the caller's
+/// responsibility (both callers wrap jobs in `catch_unwind`).
+pub(crate) fn run_stream<P, T, I, F>(config: &PoolConfig, stream: I, execute: F) -> Vec<T>
+where
+    I: Iterator<Item = P> + Send,
+    P: Send,
+    T: Send,
+    F: Fn(usize, P) -> T + Sync,
+{
+    let exact_len = match stream.size_hint() {
+        (lower, Some(upper)) if lower == upper => Some(upper),
+        _ => None,
+    };
+    if config.threads <= 1 || exact_len.is_some_and(|n| n <= 1) {
+        return stream
+            .enumerate()
+            .map(|(index, item)| execute(index, item))
+            .collect();
+    }
+
+    let workers = exact_len
+        .map_or(config.threads, |n| config.threads.min(n))
+        .max(1);
+    let chunk = config.chunk.max(1);
+    // Claim this sweep's workers from the shared core budget so intra-job
+    // simulation shards (sf-simcore) size themselves to the leftover cores
+    // instead of oversubscribing the machine. Released on drop, even if a
+    // worker's job panics.
+    let _reservation = crate::budget::reserve_workers(workers);
+    let source = Mutex::new(stream.enumerate());
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Pull the next chunk of (index, item) pairs; indices come
+                // from the shared enumeration, never from this worker. Run
+                // the chunk without holding any lock, then publish the
+                // finished results into their slots in one short critical
+                // section.
+                let pulled: Vec<(usize, P)> = {
+                    let mut stream = source.lock().expect("job stream poisoned");
+                    stream.by_ref().take(chunk).collect()
+                };
+                if pulled.is_empty() {
+                    break;
+                }
+                let results: Vec<(usize, T)> = pulled
+                    .into_iter()
+                    .map(|(index, item)| (index, execute(index, item)))
+                    .collect();
+                let mut guard = slots.lock().expect("result mutex poisoned");
+                for (index, result) in results {
+                    if guard.len() <= index {
+                        guard.resize_with(index + 1, || None);
+                    }
+                    guard[index] = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_inner()
+        .expect("result mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("worker pool left a job slot empty"))
+        .collect()
 }
 
 /// Runs `count` indexed jobs through `run`, returning one slot per index.
@@ -113,49 +191,10 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let execute = |index: usize| -> Result<T, JobError> {
+    run_stream(config, 0..count, |index, _| {
         catch_unwind(AssertUnwindSafe(|| run(index)))
             .map_err(|payload| JobError::Panic(panic_message(payload.as_ref())))
-    };
-
-    if config.threads <= 1 || count <= 1 {
-        return (0..count).map(execute).collect();
-    }
-
-    let mut slots: Vec<Option<Result<T, JobError>>> = Vec::with_capacity(count);
-    slots.resize_with(count, || None);
-    let slots = Mutex::new(&mut slots);
-    let cursor = AtomicUsize::new(0);
-    let chunk = config.chunk.max(1);
-    let workers = config.threads.min(count);
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= count {
-                    break;
-                }
-                let end = (start + chunk).min(count);
-                // Run the chunk without holding any lock, then publish the
-                // finished results into their slots in one short critical
-                // section.
-                let results: Vec<(usize, Result<T, JobError>)> =
-                    (start..end).map(|i| (i, execute(i))).collect();
-                let mut guard = slots.lock().expect("result mutex poisoned");
-                for (i, result) in results {
-                    guard[i] = Some(result);
-                }
-            });
-        }
-    });
-
-    slots
-        .into_inner()
-        .expect("result mutex poisoned")
-        .drain(..)
-        .map(|slot| slot.expect("worker pool left a job slot empty"))
-        .collect()
+    })
 }
 
 #[cfg(test)]

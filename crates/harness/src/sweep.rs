@@ -7,8 +7,16 @@
 //! never from execution order or a shared RNG. That derivation is the
 //! determinism contract: the result set of a sweep is a pure function of
 //! (points, base seed, closure), independent of the worker count.
+//!
+//! [`LazySweep`] is the streaming variant: points come from an iterator and
+//! are materialised one chunk at a time, so a design-space exploration over
+//! millions of points never holds the whole grid in memory. Indices are
+//! assigned in iterator order behind a lock, so the same determinism contract
+//! holds — a lazy run is bit-identical to the eager run over the collected
+//! points, for any worker count.
 
-use crate::pool::{run_indexed, JobError, PoolConfig};
+use crate::pool::{panic_message, run_stream, PoolConfig};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Derives the RNG seed for job `index` of a sweep with base seed `base`.
 ///
@@ -109,33 +117,19 @@ impl<P: Sync> Sweep<P> {
     ///
     /// The report's outcomes are ordered by point index; with the same points
     /// and base seed, any worker count produces the identical report.
+    ///
+    /// Execution delegates to the streaming engine ([`LazySweep`]) over the
+    /// materialised points, so there is exactly one sweep scheduler to keep
+    /// correct — eager and lazy sweeps are the same machine.
     pub fn run<R, E, F>(&self, config: &PoolConfig, job: F) -> SweepReport<R, E>
     where
         R: Send,
         E: Send,
         F: Fn(JobCtx, &P) -> Result<R, E> + Sync,
     {
-        let outcomes = run_indexed(config, self.points.len(), |index| {
-            let ctx = JobCtx {
-                index,
-                seed: derive_seed(self.base_seed, index as u64),
-            };
-            job(ctx, &self.points[index])
-        });
-        SweepReport {
-            outcomes: outcomes
-                .into_iter()
-                .enumerate()
-                .map(|(index, slot)| JobOutcome {
-                    index,
-                    result: match slot {
-                        Ok(Ok(row)) => Ok(row),
-                        Ok(Err(e)) => Err(SweepError::Job(e)),
-                        Err(JobError::Panic(msg)) => Err(SweepError::Panic(msg)),
-                    },
-                })
-                .collect(),
-        }
+        LazySweep::new(self.points.iter())
+            .with_base_seed(self.base_seed)
+            .run(config, |ctx, point| job(ctx, point))
     }
 }
 
@@ -175,6 +169,160 @@ impl<R, E> SweepReport<R, E> {
             .into_iter()
             .filter_map(|o| o.result.ok())
             .collect()
+    }
+}
+
+/// A streaming parameter sweep: points come from an iterator and are pulled
+/// one chunk at a time instead of being materialised up front.
+///
+/// This is the first step towards sharded mega-sweeps — a cross product over
+/// millions of points costs `O(chunk)` memory per worker, not `O(points)`.
+/// Job `i` always receives the `i`-th iterator item and the seed
+/// [`derive_seed`]`(base, i)`, so the report is bit-identical to running the
+/// eager [`Sweep`] over `points.collect()` with the same base seed, for any
+/// worker count.
+///
+/// # Examples
+///
+/// ```
+/// use sf_harness::pool::PoolConfig;
+/// use sf_harness::sweep::{cross2_lazy, LazySweep};
+///
+/// let points = cross2_lazy(vec![1u64, 2, 3], vec![10u64, 20]);
+/// let report = LazySweep::new(points).run(&PoolConfig::threads(4), |_, &(a, b)| {
+///     Ok::<u64, std::convert::Infallible>(a * b)
+/// });
+/// let rows = report.into_results().unwrap();
+/// assert_eq!(rows, vec![10, 20, 20, 40, 30, 60]);
+/// ```
+#[derive(Debug)]
+pub struct LazySweep<I> {
+    points: I,
+    base_seed: u64,
+}
+
+impl<P, I> LazySweep<I>
+where
+    I: Iterator<Item = P>,
+    P: Send,
+{
+    /// A lazy sweep over the given point stream with base seed 0.
+    #[must_use]
+    pub fn new(points: I) -> Self {
+        Self {
+            points,
+            base_seed: 0,
+        }
+    }
+
+    /// Sets the base seed mixed into every job's derived seed.
+    #[must_use]
+    pub fn with_base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Runs `job` over every streamed point on the given pool.
+    ///
+    /// Workers pull `(index, point)` chunks from the shared iterator under a
+    /// lock; which worker pulls a chunk never changes which index a point
+    /// gets, so the report is independent of the worker count. The iterator
+    /// is only advanced as workers consume it. Scheduling (and the worker
+    /// reservation against the shared core budget) is the pool's
+    /// `run_stream` engine — the same machine `run_indexed` uses.
+    pub fn run<R, E, F>(self, config: &PoolConfig, job: F) -> SweepReport<R, E>
+    where
+        R: Send,
+        E: Send,
+        I: Send,
+        F: Fn(JobCtx, &P) -> Result<R, E> + Sync,
+    {
+        let base_seed = self.base_seed;
+        let outcomes = run_stream(config, self.points, |index, point| {
+            let ctx = JobCtx {
+                index,
+                seed: derive_seed(base_seed, index as u64),
+            };
+            let result = match catch_unwind(AssertUnwindSafe(|| job(ctx, &point))) {
+                Ok(Ok(row)) => Ok(row),
+                Ok(Err(e)) => Err(SweepError::Job(e)),
+                Err(payload) => Err(SweepError::Panic(panic_message(payload.as_ref()))),
+            };
+            JobOutcome { index, result }
+        });
+        SweepReport { outcomes }
+    }
+}
+
+/// Restores the exact length that `flat_map` destroys, so the pool's worker
+/// clamp (and its core-budget reservation) still applies to lazy cross
+/// products: a 2-point product claims 2 workers, not the whole pool.
+#[derive(Debug)]
+struct KnownLen<I> {
+    inner: I,
+    remaining: usize,
+}
+
+impl<I: Iterator> Iterator for KnownLen<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next();
+        if item.is_some() {
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        item
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl<I: Iterator> ExactSizeIterator for KnownLen<I> {}
+
+/// Lazily enumerates the cross product of two axes in row-major order —
+/// identical order to [`cross2`], without materialising the grid. The
+/// iterator reports its exact length.
+pub fn cross2_lazy<A, B>(outer: Vec<A>, inner: Vec<B>) -> impl ExactSizeIterator<Item = (A, B)>
+where
+    A: Clone,
+    B: Clone,
+{
+    let remaining = outer.len() * inner.len();
+    KnownLen {
+        inner: outer
+            .into_iter()
+            .flat_map(move |a| inner.clone().into_iter().map(move |b| (a.clone(), b))),
+        remaining,
+    }
+}
+
+/// Lazily enumerates the cross product of three axes in row-major order —
+/// identical order to [`cross3`], without materialising the grid. The
+/// iterator reports its exact length.
+pub fn cross3_lazy<A, B, C>(
+    a: Vec<A>,
+    b: Vec<B>,
+    c: Vec<C>,
+) -> impl ExactSizeIterator<Item = (A, B, C)>
+where
+    A: Clone,
+    B: Clone,
+    C: Clone,
+{
+    let remaining = a.len() * b.len() * c.len();
+    KnownLen {
+        inner: a.into_iter().flat_map(move |x| {
+            let c = c.clone();
+            b.clone().into_iter().flat_map(move |y| {
+                let x = x.clone();
+                c.clone()
+                    .into_iter()
+                    .map(move |z| (x.clone(), y.clone(), z))
+            })
+        }),
+        remaining,
     }
 }
 
@@ -238,6 +386,95 @@ mod tests {
         assert_eq!(report.succeeded(), 2);
         assert_eq!(report.failed(), 2);
         assert_eq!(report.successes(), vec![20, 40]);
+    }
+
+    #[test]
+    fn lazy_cross_products_match_eager_enumeration() {
+        let eager = cross2(&[1, 2], &['a', 'b']);
+        let lazy: Vec<_> = cross2_lazy(vec![1, 2], vec!['a', 'b']).collect();
+        assert_eq!(eager, lazy);
+        let eager3 = cross3(&[1, 2], &[3], &[4, 5]);
+        let lazy3: Vec<_> = cross3_lazy(vec![1, 2], vec![3], vec![4, 5]).collect();
+        assert_eq!(eager3, lazy3);
+    }
+
+    #[test]
+    fn lazy_cross_products_report_their_exact_length() {
+        // The exact size hint is what lets the pool clamp its workers (and
+        // budget reservation) for small lazy sweeps.
+        let mut points = cross2_lazy(vec![1, 2, 3], vec!['a', 'b']);
+        assert_eq!(points.len(), 6);
+        points.next();
+        assert_eq!(points.size_hint(), (5, Some(5)));
+        assert_eq!(cross3_lazy(vec![1, 2], vec![3, 4], vec![5]).len(), 4);
+    }
+
+    #[test]
+    fn lazy_sweep_matches_eager_sweep_for_any_worker_count() {
+        let points: Vec<u64> = (0..97).collect();
+        let job = |ctx: JobCtx, &n: &u64| {
+            if n % 13 == 5 {
+                Err(format!("unlucky {n}"))
+            } else {
+                Ok(n.wrapping_mul(ctx.seed))
+            }
+        };
+        let eager = Sweep::new(points.clone())
+            .with_base_seed(77)
+            .run(&PoolConfig::serial(), job);
+        for threads in [1, 2, 4, 7] {
+            let config = PoolConfig::threads(threads).with_chunk(3);
+            let lazy = LazySweep::new(points.clone().into_iter())
+                .with_base_seed(77)
+                .run(&config, job);
+            assert_eq!(lazy, eager, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lazy_sweep_isolates_panics() {
+        let report: SweepReport<u64, String> =
+            LazySweep::new(0u64..20).run(&PoolConfig::threads(4), |_, &n| {
+                assert!(n != 11, "eleven exploded");
+                Ok(n)
+            });
+        assert_eq!(report.failed(), 1);
+        match &report.outcomes[11].result {
+            Err(SweepError::Panic(msg)) => assert!(msg.contains("eleven exploded")),
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(report.succeeded(), 19);
+    }
+
+    #[test]
+    fn lazy_sweep_reserves_its_workers_from_the_core_budget() {
+        // Jobs observe at least this sweep's own reservation (other tests
+        // may add to the global ledger concurrently, never subtract below
+        // ours), so intra-job shard sizing sees the sweep's workers.
+        let report = LazySweep::new(0u64..8).run(&PoolConfig::threads(3), |_, &n| {
+            assert!(crate::budget::reserved_workers() >= 3);
+            Ok::<u64, std::convert::Infallible>(n)
+        });
+        assert_eq!(report.succeeded(), 8);
+    }
+
+    #[test]
+    fn lazy_sweep_streams_without_collecting_all_points() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A long stream: the sweep must finish even though collecting the
+        // iterator up front would be absurd, and the pull counter proves the
+        // points were produced on demand.
+        let produced = AtomicUsize::new(0);
+        let stream = (0u64..10_000).inspect(|_| {
+            produced.fetch_add(1, Ordering::Relaxed);
+        });
+        let report = LazySweep::new(stream).run(&PoolConfig::threads(3).with_chunk(64), |_, &n| {
+            Ok::<u64, std::convert::Infallible>(n + 1)
+        });
+        assert_eq!(report.succeeded(), 10_000);
+        assert_eq!(produced.load(Ordering::Relaxed), 10_000);
+        let rows = report.into_results().unwrap();
+        assert_eq!(rows[4_321], 4_322);
     }
 
     #[test]

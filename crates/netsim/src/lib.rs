@@ -8,15 +8,23 @@
 //! top of the same topology, routing, timing, and energy parameters
 //! (Table I).
 //!
+//! Since the `sf-simcore` refactor the simulation engine itself lives in
+//! [`sf_simcore`]: a sharded, deterministic kernel whose results are
+//! bit-identical for any shard count. This crate is the stable facade —
+//! [`NetworkSimulator`] keeps its original API and the packet/memory/stats
+//! modules are re-exported from the kernel crate, so downstream code is
+//! unaffected by where the engine lives.
+//!
 //! ## Modules
 //!
 //! * [`packet`] — packets, packet kinds/sizes, and the [`TrafficModel`] trait
-//!   the workload generators implement.
+//!   the workload generators implement (re-exported from `sf-simcore`).
 //! * [`memory`] — the per-node DRAM service model (row-buffer behaviour and
-//!   Table I timing).
-//! * [`simulator`] — the [`NetworkSimulator`] itself.
+//!   Table I timing; re-exported from `sf-simcore`).
+//! * [`simulator`] — the [`NetworkSimulator`] facade over the sharded kernel.
 //! * [`stats`] — [`SimulationStats`] and derived metrics (latency, accepted
-//!   throughput, energy-delay product, saturation heuristic).
+//!   throughput, energy-delay product, saturation heuristic; re-exported from
+//!   `sf-simcore`).
 //!
 //! ## Example
 //!
@@ -42,10 +50,12 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
-pub mod memory;
-pub mod packet;
 pub mod simulator;
-pub mod stats;
+
+pub use sf_simcore::memory;
+pub use sf_simcore::packet;
+pub use sf_simcore::shard;
+pub use sf_simcore::stats;
 
 pub use memory::{MemoryNodeModel, MemoryNodeStats};
 pub use packet::{Packet, PacketKind, TrafficModel, TrafficRequest};

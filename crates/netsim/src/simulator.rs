@@ -1,4 +1,4 @@
-//! The cycle-level memory-network simulator.
+//! The cycle-level memory-network simulator (facade).
 //!
 //! The simulator models every memory node as an input-queued router with one
 //! terminal (ejection/injection) port towards the local memory stack and one
@@ -6,9 +6,10 @@
 //! credit-based: a packet only leaves a router when the downstream input queue
 //! for its link and virtual channel has a free slot, so congestion backs up
 //! exactly as in the RTL model the paper uses. Routing decisions are delegated
-//! to any [`RoutingProtocol`] (String Figure's greediest routing, mesh
-//! routing, or look-up-table routing), which also receives live queue
-//! occupancies so adaptive protocols behave as they would in hardware.
+//! to any [`RoutingProtocol`](sf_routing::RoutingProtocol) (String Figure's
+//! greediest routing, mesh routing, or look-up-table routing), which also
+//! receives live queue occupancies so adaptive protocols behave as they would
+//! in hardware.
 //!
 //! Two traffic modes are supported:
 //!
@@ -18,72 +19,23 @@
 //! * **Request–reply memory traffic** (Figures 9b and 12): packets arriving at
 //!   a memory node are serviced by its DRAM model and generate a reply; the
 //!   simulator additionally measures round-trip latency and DRAM energy.
+//!
+//! Execution is delegated to [`sf_simcore::ShardedSimulator`]: the cycle loop
+//! runs across `SimulationConfig::shards` router shards (0 = auto from the
+//! shared core budget) with **bit-identical results for any shard count** —
+//! one shard reproduces the historical serial simulator exactly.
 
-use crate::memory::MemoryNodeModel;
-use crate::packet::{Packet, PacketKind, TrafficModel, TrafficRequest};
+use crate::packet::TrafficModel;
 use crate::stats::SimulationStats;
-use sf_routing::{PortLoadEstimator, RoutingContext, RoutingProtocol};
+use sf_routing::RoutingProtocol;
+use sf_simcore::ShardedSimulator;
 use sf_topology::{AdjacencyGraph, GridPlacement};
-use sf_types::{NodeId, SfError, SfResult, SimulationConfig, SystemConfig, VirtualChannelId};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use sf_types::{SfResult, SimulationConfig, SystemConfig};
 
-/// A packet currently traversing a link.
-#[derive(Debug, Clone)]
-struct InFlight {
-    arrival_cycle: u64,
-    to_node: usize,
-    from_index: usize,
-    vc: usize,
-    packet: Packet,
-}
+pub use sf_simcore::kernel::UniformRandomTraffic;
 
-/// A reply waiting for its DRAM service to finish.
-#[derive(Debug, Clone)]
-struct PendingReply {
-    ready_cycle: u64,
-    node: usize,
-    packet: Packet,
-}
-
-impl PartialEq for PendingReply {
-    fn eq(&self, other: &Self) -> bool {
-        self.ready_cycle == other.ready_cycle
-    }
-}
-impl Eq for PendingReply {}
-impl PartialOrd for PendingReply {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingReply {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse ordering so the BinaryHeap pops the earliest ready cycle.
-        other.ready_cycle.cmp(&self.ready_cycle)
-    }
-}
-
-/// View over the simulator's queue occupancies handed to adaptive routing.
-struct OccupancyView<'a> {
-    occupancy: &'a [Vec<Vec<usize>>],
-    neighbor_index: &'a [HashMap<usize, usize>],
-    capacity: usize,
-    vcs: usize,
-}
-
-impl PortLoadEstimator for OccupancyView<'_> {
-    fn load(&self, from: NodeId, to: NodeId) -> f64 {
-        // The sender observes the occupancy of the downstream input queue for
-        // its link (what the credit counter tracks in hardware).
-        let Some(&idx) = self.neighbor_index[to.index()].get(&from.index()) else {
-            return 0.0;
-        };
-        let used: usize = self.occupancy[to.index()][idx].iter().sum();
-        used as f64 / (self.capacity * self.vcs) as f64
-    }
-}
-
-/// The cycle-level network simulator.
+/// The cycle-level network simulator: the stable facade over the sharded
+/// simulation kernel.
 ///
 /// # Examples
 ///
@@ -107,43 +59,14 @@ impl PortLoadEstimator for OccupancyView<'_> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct NetworkSimulator {
-    system: SystemConfig,
-    config: SimulationConfig,
-    protocol: Box<dyn RoutingProtocol>,
-    placement: Option<GridPlacement>,
-    request_reply: bool,
-
-    num_nodes: usize,
-    active: Vec<bool>,
-    adjacency: Vec<Vec<NodeId>>,
-    /// For each node, maps a neighbouring node index to its position in the
-    /// adjacency list (= input-queue group index).
-    neighbor_index: Vec<HashMap<usize, usize>>,
-
-    /// Input queues: `queues[node][neighbor_idx][vc]`.
-    queues: Vec<Vec<Vec<VecDeque<Packet>>>>,
-    /// Occupancy counters mirroring `queues` but including packets in flight
-    /// towards the queue (the hardware credit counters).
-    occupancy: Vec<Vec<Vec<usize>>>,
-    /// Unbounded injection queue per node (the processor-side request queue).
-    injection: Vec<VecDeque<Packet>>,
-    in_flight: Vec<InFlight>,
-    pending_replies: BinaryHeap<PendingReply>,
-    memory: Vec<MemoryNodeModel>,
-
-    cycle: u64,
-    next_packet_id: u64,
-    stats: SimulationStats,
+    inner: ShardedSimulator,
 }
 
 impl std::fmt::Debug for NetworkSimulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetworkSimulator")
-            .field("num_nodes", &self.num_nodes)
-            .field("cycle", &self.cycle)
-            .field("protocol", &self.protocol.name())
-            .field("request_reply", &self.request_reply)
-            .finish_non_exhaustive()
+            .field("kernel", &self.inner)
+            .finish()
     }
 }
 
@@ -152,7 +75,7 @@ impl NetworkSimulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SfError::InvalidConfiguration`] if the simulation
+    /// Returns [`sf_types::SfError::InvalidConfiguration`] if the simulation
     /// configuration fails validation.
     pub fn new(
         graph: AdjacencyGraph,
@@ -160,54 +83,8 @@ impl NetworkSimulator {
         system: SystemConfig,
         config: SimulationConfig,
     ) -> SfResult<Self> {
-        config.validate()?;
-        let num_nodes = graph.num_nodes();
-        let active: Vec<bool> = (0..num_nodes)
-            .map(|i| graph.is_active(NodeId::new(i)))
-            .collect();
-        let adjacency: Vec<Vec<NodeId>> = (0..num_nodes)
-            .map(|i| graph.active_neighbors(NodeId::new(i)))
-            .collect();
-        let neighbor_index: Vec<HashMap<usize, usize>> = adjacency
-            .iter()
-            .map(|nbs| {
-                nbs.iter()
-                    .enumerate()
-                    .map(|(idx, n)| (n.index(), idx))
-                    .collect()
-            })
-            .collect();
-        let vcs = config.virtual_channels;
-        let queues = adjacency
-            .iter()
-            .map(|nbs| vec![vec![VecDeque::new(); vcs]; nbs.len()])
-            .collect();
-        let occupancy = adjacency
-            .iter()
-            .map(|nbs| vec![vec![0usize; vcs]; nbs.len()])
-            .collect();
-        let memory = (0..num_nodes)
-            .map(|i| MemoryNodeModel::new(NodeId::new(i), &system))
-            .collect();
         Ok(Self {
-            system,
-            config,
-            protocol,
-            placement: None,
-            request_reply: false,
-            num_nodes,
-            active,
-            adjacency,
-            neighbor_index,
-            queues,
-            occupancy,
-            injection: vec![VecDeque::new(); num_nodes],
-            in_flight: Vec::new(),
-            pending_replies: BinaryHeap::new(),
-            memory,
-            cycle: 0,
-            next_packet_id: 0,
-            stats: SimulationStats::default(),
+            inner: ShardedSimulator::new(graph, protocol, system, config)?,
         })
     }
 
@@ -215,7 +92,7 @@ impl NetworkSimulator {
     /// destination are serviced by the DRAM model and answered.
     #[must_use]
     pub fn with_request_reply(mut self, enabled: bool) -> Self {
-        self.request_reply = enabled;
+        self.inner = self.inner.with_request_reply(enabled);
         self
     }
 
@@ -223,20 +100,26 @@ impl NetworkSimulator {
     /// configured grid distance) pay an extra hop of latency.
     #[must_use]
     pub fn with_placement(mut self, placement: GridPlacement) -> Self {
-        self.placement = Some(placement);
+        self.inner = self.inner.with_placement(placement);
         self
     }
 
     /// The routing protocol driving this simulator.
     #[must_use]
     pub fn protocol_name(&self) -> &'static str {
-        self.protocol.name()
+        self.inner.protocol_name()
     }
 
     /// The current simulation cycle.
     #[must_use]
     pub fn current_cycle(&self) -> u64 {
-        self.cycle
+        self.inner.current_cycle()
+    }
+
+    /// Number of router shards the cycle loop runs across.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
     }
 
     /// Runs the simulation with the given traffic model for the configured
@@ -247,404 +130,30 @@ impl NetworkSimulator {
     /// Returns a routing error if the protocol cannot make a forwarding
     /// decision (for example because the traffic model targets a gated node).
     pub fn run(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<SimulationStats> {
-        self.stats.active_nodes = self.active.iter().filter(|&&a| a).count();
-        while self.cycle < self.config.max_cycles {
-            self.step(traffic)?;
-        }
-        // Snapshot congestion state at the end of the injection phase: this is
-        // what the saturation heuristic looks at (draining would hide it).
-        self.stats.in_flight_at_end = self.packets_outstanding();
-        self.stats.backlog_at_end = self.injection.iter().map(|q| q.len() as u64).sum();
-        // Drain phase: stop injecting and let queued packets finish, bounded
-        // by another max_cycles to avoid infinite loops on saturated runs.
-        let drain_deadline = self.config.max_cycles * 2;
-        while self.cycle < drain_deadline && self.packets_outstanding() > 0 {
-            self.step(&mut NoTraffic)?;
-        }
-        self.stats.cycles = self.cycle;
-        Ok(self.stats.clone())
+        self.inner.run(traffic)
     }
 
     /// Number of packets currently queued, in flight, or awaiting DRAM
     /// service.
     #[must_use]
     pub fn packets_outstanding(&self) -> u64 {
-        let queued: usize = self
-            .queues
-            .iter()
-            .flat_map(|per_link| per_link.iter())
-            .flat_map(|per_vc| per_vc.iter())
-            .map(VecDeque::len)
-            .sum();
-        let injecting: usize = self.injection.iter().map(VecDeque::len).sum();
-        (queued + injecting + self.in_flight.len() + self.pending_replies.len()) as u64
-    }
-
-    /// Advances the simulation by one cycle.
-    fn step(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<()> {
-        let cycle = self.cycle;
-        let measuring = cycle >= self.config.warmup_cycles;
-
-        // 1. New injections from the traffic model.
-        for node in 0..self.num_nodes {
-            if !self.active[node] {
-                continue;
-            }
-            if let Some(request) = traffic.maybe_inject(cycle, NodeId::new(node)) {
-                self.enqueue_request(node, request, cycle, measuring)?;
-            }
-        }
-
-        // 2. Replies whose DRAM service completed become injectable.
-        while let Some(top) = self.pending_replies.peek() {
-            if top.ready_cycle > cycle {
-                break;
-            }
-            let reply = self.pending_replies.pop().expect("peeked");
-            self.injection[reply.node].push_back(reply.packet);
-        }
-
-        // 3. Deliver packets finishing their link traversal.
-        let mut arrived = Vec::new();
-        self.in_flight.retain(|f| {
-            if f.arrival_cycle <= cycle {
-                arrived.push(f.clone());
-                false
-            } else {
-                true
-            }
-        });
-        for f in arrived {
-            self.queues[f.to_node][f.from_index][f.vc].push_back(f.packet);
-        }
-
-        // 4. Router pipelines: ejection and forwarding, one packet per output
-        //    link per cycle, one ejection per cycle per node.
-        for node in 0..self.num_nodes {
-            if self.active[node] {
-                self.route_node(node, cycle, measuring)?;
-            }
-        }
-
-        self.cycle += 1;
-        Ok(())
-    }
-
-    fn enqueue_request(
-        &mut self,
-        source: usize,
-        request: TrafficRequest,
-        cycle: u64,
-        measuring: bool,
-    ) -> SfResult<()> {
-        let dest = request.destination;
-        if dest.index() >= self.num_nodes {
-            return Err(SfError::Simulation {
-                reason: format!(
-                    "traffic model produced destination {dest} outside the {}-node network",
-                    self.num_nodes
-                ),
-            });
-        }
-        if !self.active[dest.index()] {
-            return Err(SfError::Simulation {
-                reason: format!("traffic model targeted gated node {dest}"),
-            });
-        }
-        let kind = if self.request_reply {
-            if request.write {
-                PacketKind::WriteRequest
-            } else {
-                PacketKind::ReadRequest
-            }
-        } else {
-            PacketKind::Synthetic
-        };
-        let packet = Packet {
-            id: self.next_packet_id,
-            source: NodeId::new(source),
-            destination: dest,
-            kind,
-            injected_at: cycle,
-            request_issued_at: cycle,
-            hops: 0,
-            virtual_channel: VirtualChannelId::UP,
-        };
-        self.next_packet_id += 1;
-        if measuring {
-            self.stats.injected += 1;
-        }
-        if source == dest.index() {
-            // Local access: no network traversal, service memory directly.
-            self.eject(packet, cycle, measuring);
-            return Ok(());
-        }
-        self.injection[source].push_back(packet);
-        Ok(())
-    }
-
-    /// Processes one node's router for one cycle.
-    fn route_node(&mut self, node: usize, cycle: u64, measuring: bool) -> SfResult<()> {
-        let num_links = self.adjacency[node].len();
-        let vcs = self.config.virtual_channels;
-        // Queue scan order rotates every cycle for fairness; the injection
-        // queue is scanned last so in-network packets have priority.
-        let total_queues = num_links * vcs;
-        let offset = (cycle as usize) % total_queues.max(1);
-        let mut used_outputs: Vec<bool> = vec![false; num_links];
-        let mut ejected = false;
-
-        let mut scan: Vec<(usize, usize)> = Vec::with_capacity(total_queues);
-        for q in 0..total_queues {
-            let idx = (q + offset) % total_queues;
-            scan.push((idx / vcs, idx % vcs));
-        }
-
-        for (link, vc) in scan {
-            let Some(packet) = self.queues[node][link][vc].front().cloned() else {
-                continue;
-            };
-            if packet.destination.index() == node {
-                if !ejected {
-                    let packet = self.queues[node][link][vc]
-                        .pop_front()
-                        .expect("head packet present");
-                    self.occupancy[node][link][vc] -= 1;
-                    self.eject(packet, cycle, measuring);
-                    ejected = true;
-                }
-                continue;
-            }
-            match self.try_forward(node, &packet, &mut used_outputs, cycle, measuring)? {
-                Some(()) => {
-                    self.queues[node][link][vc].pop_front();
-                    self.occupancy[node][link][vc] -= 1;
-                }
-                None => {
-                    if measuring {
-                        self.stats.blocked_forwards += 1;
-                    }
-                }
-            }
-        }
-
-        // Injection queue: the terminal port can insert one packet per cycle.
-        if let Some(packet) = self.injection[node].front().cloned() {
-            if packet.destination.index() == node {
-                // A reply addressed to the local node (possible when a
-                // processor and memory share a node): deliver directly.
-                let packet = self.injection[node].pop_front().expect("head");
-                self.eject(packet, cycle, measuring);
-            } else if self
-                .try_forward(node, &packet, &mut used_outputs, cycle, measuring)?
-                .is_some()
-            {
-                self.injection[node].pop_front();
-            } else if measuring {
-                self.stats.blocked_forwards += 1;
-            }
-        }
-        Ok(())
-    }
-
-    /// Attempts to forward `packet` from `node`; returns `Some(())` if the
-    /// packet entered a link this cycle.
-    fn try_forward(
-        &mut self,
-        node: usize,
-        packet: &Packet,
-        used_outputs: &mut [bool],
-        cycle: u64,
-        measuring: bool,
-    ) -> SfResult<Option<()>> {
-        let ctx = RoutingContext {
-            first_hop: packet.hops == 0,
-            adaptive_threshold: self.config.adaptive_threshold,
-        };
-        let loads = OccupancyView {
-            occupancy: &self.occupancy,
-            neighbor_index: &self.neighbor_index,
-            capacity: self.config.vc_queue_capacity,
-            vcs: self.config.virtual_channels,
-        };
-        let next = self
-            .protocol
-            .next_hop(NodeId::new(node), packet.destination, &loads, &ctx)?;
-        let Some(&out_idx) = self.neighbor_index[node].get(&next.index()) else {
-            return Err(SfError::Simulation {
-                reason: format!(
-                    "protocol {} chose non-neighbour {next} from node {node}",
-                    self.protocol.name()
-                ),
-            });
-        };
-        if used_outputs[out_idx] {
-            return Ok(None);
-        }
-        let vc = self
-            .protocol
-            .virtual_channel(NodeId::new(node), next, packet.destination)
-            .index() as usize;
-        let vc = vc.min(self.config.virtual_channels - 1);
-        // Credit check on the downstream input queue.
-        let down_idx = self.neighbor_index[next.index()][&node];
-        if self.occupancy[next.index()][down_idx][vc] >= self.config.vc_queue_capacity {
-            return Ok(None);
-        }
-        // Commit the hop.
-        used_outputs[out_idx] = true;
-        self.occupancy[next.index()][down_idx][vc] += 1;
-        let mut moved = packet.clone();
-        moved.hops += 1;
-        moved.virtual_channel = VirtualChannelId::new(vc as u8);
-        let latency = self.link_latency(node, next.index());
-        if measuring {
-            self.stats.network_energy_pj += self
-                .system
-                .energy
-                .network_energy_pj(moved.kind.size_bits(self.system.cacheline_bytes), 1);
-        }
-        self.in_flight.push(InFlight {
-            arrival_cycle: cycle + latency,
-            to_node: next.index(),
-            from_index: down_idx,
-            vc,
-            packet: moved,
-        });
-        Ok(Some(()))
-    }
-
-    fn link_latency(&self, from: usize, to: usize) -> u64 {
-        let mut latency = self.config.router_latency_cycles + self.system.serdes_cycles_per_hop();
-        if let Some(placement) = &self.placement {
-            if placement.is_long_wire(
-                NodeId::new(from),
-                NodeId::new(to),
-                self.config.long_wire_grid_distance,
-            ) {
-                latency += self
-                    .config
-                    .long_wire_penalty_cycles
-                    .max(self.config.router_latency_cycles + self.system.serdes_cycles_per_hop());
-            }
-        }
-        latency.max(1)
-    }
-
-    fn eject(&mut self, packet: Packet, cycle: u64, measuring: bool) {
-        let node = packet.destination.index();
-        let latency = cycle.saturating_sub(packet.injected_at);
-        if measuring {
-            self.stats.delivered += 1;
-            self.stats.total_latency_cycles += latency;
-            self.stats.max_latency_cycles = self.stats.max_latency_cycles.max(latency);
-            self.stats.total_hops += u64::from(packet.hops);
-        }
-        match packet.kind {
-            PacketKind::ReadReply | PacketKind::WriteAck => {
-                if measuring {
-                    self.stats.completed_requests += 1;
-                    self.stats.total_round_trip_cycles +=
-                        cycle.saturating_sub(packet.request_issued_at);
-                }
-            }
-            PacketKind::ReadRequest | PacketKind::WriteRequest => {
-                // Service the DRAM access and schedule the reply.
-                let address = packet.id.wrapping_mul(64) % (1 << 33);
-                let service =
-                    self.memory[node].access(address, packet.kind == PacketKind::WriteRequest);
-                if measuring {
-                    self.stats.dram_energy_pj += self
-                        .system
-                        .energy
-                        .dram_energy_pj(self.system.cacheline_bytes as u64 * 8);
-                }
-                if let Some(reply_kind) = packet.kind.reply_kind() {
-                    let reply = Packet {
-                        id: self.next_packet_id,
-                        source: packet.destination,
-                        destination: packet.source,
-                        kind: reply_kind,
-                        injected_at: cycle + service,
-                        request_issued_at: packet.request_issued_at,
-                        hops: 0,
-                        virtual_channel: VirtualChannelId::UP,
-                    };
-                    self.next_packet_id += 1;
-                    self.pending_replies.push(PendingReply {
-                        ready_cycle: cycle + service,
-                        node,
-                        packet: reply,
-                    });
-                }
-            }
-            PacketKind::Synthetic => {}
-        }
+        self.inner.packets_outstanding()
     }
 
     /// Per-node memory statistics (reads, writes, row hit rate).
     #[must_use]
     pub fn memory_stats(&self) -> Vec<crate::memory::MemoryNodeStats> {
-        self.memory.iter().map(MemoryNodeModel::stats).collect()
-    }
-}
-
-/// A traffic model that never injects; used internally for the drain phase.
-struct NoTraffic;
-
-impl TrafficModel for NoTraffic {
-    fn maybe_inject(&mut self, _cycle: u64, _source: NodeId) -> Option<TrafficRequest> {
-        None
-    }
-
-    fn is_exhausted(&self) -> bool {
-        true
-    }
-}
-
-/// Simple uniform-random synthetic traffic, provided here so the simulator is
-/// usable stand-alone; richer patterns and application models live in
-/// `sf-workloads`.
-#[derive(Debug, Clone)]
-pub struct UniformRandomTraffic {
-    num_nodes: usize,
-    injection_rate: f64,
-    rng: sf_types::DeterministicRng,
-}
-
-impl UniformRandomTraffic {
-    /// Creates uniform-random traffic over `num_nodes` nodes where every node
-    /// injects with probability `injection_rate` each cycle.
-    #[must_use]
-    pub fn new(num_nodes: usize, injection_rate: f64, seed: u64) -> Self {
-        Self {
-            num_nodes,
-            injection_rate,
-            rng: sf_types::DeterministicRng::new(seed),
-        }
-    }
-}
-
-impl TrafficModel for UniformRandomTraffic {
-    fn maybe_inject(&mut self, _cycle: u64, source: NodeId) -> Option<TrafficRequest> {
-        if !self.rng.next_bool(self.injection_rate) {
-            return None;
-        }
-        // Pick a destination different from the source.
-        let mut dest = self.rng.next_index(self.num_nodes);
-        if dest == source.index() {
-            dest = (dest + 1) % self.num_nodes;
-        }
-        Some(TrafficRequest::read(NodeId::new(dest)))
+        self.inner.memory_stats()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::TrafficRequest;
     use sf_routing::GreediestRouting;
     use sf_topology::StringFigureTopology;
-    use sf_types::NetworkConfig;
+    use sf_types::{NetworkConfig, NodeId};
 
     fn small_sim(nodes: usize, rate: f64) -> (StringFigureTopology, NetworkSimulator) {
         let topo = StringFigureTopology::generate(&NetworkConfig::new(nodes, 4).unwrap()).unwrap();
@@ -807,5 +316,7 @@ mod tests {
         let dbg = format!("{sim:?}");
         assert!(dbg.contains("NetworkSimulator"));
         assert_eq!(sim.current_cycle(), 0);
+        assert!(sim.shard_count() >= 1);
+        assert_eq!(sim.packets_outstanding(), 0);
     }
 }

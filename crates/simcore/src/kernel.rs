@@ -1,0 +1,1167 @@
+//! The sharded deterministic cycle-level simulation kernel.
+//!
+//! [`ShardedSimulator`] advances an input-queued, credit-based router network
+//! cycle by cycle, exactly like the reference serial simulator it replaces —
+//! but the expensive routing phase of each cycle is split across K shards of
+//! routers that run on their own worker threads.
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical for every shard count**, including K = 1,
+//! which reproduces the original serial simulator exactly. Three mechanisms
+//! make that true:
+//!
+//! 1. **Wavefront scheduling** (see [`crate::shard`]): inside a cycle, router
+//!    `m`'s forwarding decisions depend only on the credit counters of its
+//!    links, which are written by `m` itself and by the same-cycle queue pops
+//!    of its graph neighbours. The serial loop processes routers in id order,
+//!    so `m` sees pops from neighbours `x < m` and not from `x > m`. Shards
+//!    process their routers in id order and wait, per router, on a published
+//!    epoch for cross-shard smaller-id neighbours — so every router observes
+//!    *exactly* the serial state, no matter how many shards exist or how they
+//!    are scheduled.
+//! 2. **Deferred side effects**: everything order-sensitive that is not
+//!    router-local — float accumulation into statistics, packet-id assignment
+//!    for replies, the in-flight list, DRAM service, the reply heap — is
+//!    logged as per-router events during the parallel phase and replayed by a
+//!    serial commit in router-id order, reproducing the serial loop's exact
+//!    operation order (float addition is not associative; replay order is the
+//!    only way to keep energies bit-identical).
+//! 3. **Serial boundary phases**: traffic injection, reply release, and link
+//!    arrivals stay on the coordinating thread in router-id order, because
+//!    traffic models own a single RNG whose consumption order is part of the
+//!    observable behaviour.
+//!
+//! Link traversal takes at least one cycle (router latency + SerDes), so
+//! queues only couple routers *across* cycle boundaries; the wavefront only
+//! has to order same-cycle credit traffic, which is what keeps the waits
+//! short and the parallelism real.
+
+use crate::memory::MemoryNodeModel;
+use crate::packet::{Packet, PacketKind, TrafficModel, TrafficRequest};
+use crate::shard::{resolve_shard_count, ShardPlan};
+use crate::stats::SimulationStats;
+use sf_routing::{PortLoadEstimator, RoutingContext, RoutingProtocol};
+use sf_topology::{AdjacencyGraph, GridPlacement};
+use sf_types::{NodeId, SfError, SfResult, SimulationConfig, SystemConfig, VirtualChannelId};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// A packet currently traversing a link.
+#[derive(Debug, Clone)]
+struct InFlight {
+    arrival_cycle: u64,
+    to_node: usize,
+    from_index: usize,
+    vc: usize,
+    packet: Packet,
+}
+
+/// A reply waiting for its DRAM service to finish.
+#[derive(Debug, Clone)]
+struct PendingReply {
+    ready_cycle: u64,
+    node: usize,
+    packet: Packet,
+}
+
+impl PartialEq for PendingReply {
+    fn eq(&self, other: &Self) -> bool {
+        self.ready_cycle == other.ready_cycle
+    }
+}
+impl Eq for PendingReply {}
+impl PartialOrd for PendingReply {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingReply {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering so the BinaryHeap pops the earliest ready cycle.
+        other.ready_cycle.cmp(&self.ready_cycle)
+    }
+}
+
+/// An order-sensitive side effect recorded by a router during the parallel
+/// routing phase and replayed by the serial commit in router-id order.
+#[derive(Debug)]
+enum RouterEvent {
+    /// A packet committed to a link: becomes an in-flight entry plus (when
+    /// measuring) a network-energy contribution.
+    Forward {
+        arrival_cycle: u64,
+        to_node: usize,
+        from_index: usize,
+        vc: usize,
+        packet: Packet,
+    },
+    /// A forwarding attempt found no free output or credit.
+    Blocked,
+    /// A packet reached its destination; the commit runs delivery statistics,
+    /// DRAM service, and reply creation.
+    Eject(Packet),
+}
+
+/// The mutable state of one router, owned by exactly one shard.
+#[derive(Debug)]
+struct RouterState {
+    node: usize,
+    /// Input queues: `queues[neighbor_idx][vc]`.
+    queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Unbounded injection queue (the processor-side request queue).
+    injection: VecDeque<Packet>,
+    memory: MemoryNodeModel,
+    /// This cycle's deferred side effects, drained by the commit.
+    events: Vec<RouterEvent>,
+}
+
+/// One shard's routers, locked as a unit: by its worker during the routing
+/// phase, by the coordinator during the serial phases. The two never overlap
+/// (a barrier separates them), so the locks are always uncontended — they
+/// exist to prove disjoint access to the borrow checker, not to arbitrate.
+#[derive(Debug)]
+struct ShardState {
+    routers: Vec<RouterState>,
+}
+
+/// Everything the shard workers share read-only (plus atomics).
+struct Shared {
+    system: SystemConfig,
+    config: SimulationConfig,
+    protocol: Box<dyn RoutingProtocol>,
+    placement: Option<GridPlacement>,
+    request_reply: bool,
+    num_nodes: usize,
+    active: Vec<bool>,
+    adjacency: Vec<Vec<NodeId>>,
+    /// For each node, maps a neighbouring node index to its position in the
+    /// adjacency list (= input-queue group index).
+    neighbor_index: Vec<HashMap<usize, usize>>,
+    plan: ShardPlan,
+    shards: Vec<Mutex<ShardState>>,
+    /// Flattened credit counters mirroring the queues *plus* packets in
+    /// flight towards them (the hardware credit counters):
+    /// `occupancy[occ_offset[node] + neighbor_idx * vcs + vc]`. The counter
+    /// for link `m → x` lives at node `x` and is written only by `m`
+    /// (take on forward) and `x` (return on pop) — which is what lets the
+    /// wavefront order them with plain relaxed atomics.
+    occupancy: Vec<AtomicUsize>,
+    occ_offset: Vec<usize>,
+    /// Wavefront epochs: `done[m] == cycle + 1` once router `m` finished the
+    /// routing phase of `cycle`. Release/Acquire pairs on these publish the
+    /// relaxed occupancy writes.
+    done: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn occ(&self, node: usize, link: usize, vc: usize) -> &AtomicUsize {
+        &self.occupancy[self.occ_offset[node] + link * self.config.virtual_channels + vc]
+    }
+
+    fn lock_all(&self) -> Vec<MutexGuard<'_, ShardState>> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard state poisoned"))
+            .collect()
+    }
+
+    fn link_latency(&self, from: usize, to: usize) -> u64 {
+        let mut latency = self.config.router_latency_cycles + self.system.serdes_cycles_per_hop();
+        if let Some(placement) = &self.placement {
+            if placement.is_long_wire(
+                NodeId::new(from),
+                NodeId::new(to),
+                self.config.long_wire_grid_distance,
+            ) {
+                latency += self
+                    .config
+                    .long_wire_penalty_cycles
+                    .max(self.config.router_latency_cycles + self.system.serdes_cycles_per_hop());
+            }
+        }
+        latency.max(1)
+    }
+}
+
+/// State only the coordinating thread touches.
+#[derive(Debug)]
+struct SerialState {
+    cycle: u64,
+    next_packet_id: u64,
+    stats: SimulationStats,
+    in_flight: Vec<InFlight>,
+    pending_replies: BinaryHeap<PendingReply>,
+}
+
+/// View over the credit counters handed to adaptive routing protocols.
+struct AtomicLoadView<'a> {
+    shared: &'a Shared,
+}
+
+impl PortLoadEstimator for AtomicLoadView<'_> {
+    fn load(&self, from: NodeId, to: NodeId) -> f64 {
+        // The sender observes the occupancy of the downstream input queue for
+        // its link (what the credit counter tracks in hardware).
+        let Some(&idx) = self.shared.neighbor_index[to.index()].get(&from.index()) else {
+            return 0.0;
+        };
+        let vcs = self.shared.config.virtual_channels;
+        let used: usize = (0..vcs)
+            .map(|vc| self.shared.occ(to.index(), idx, vc).load(Ordering::Relaxed))
+            .sum();
+        used as f64 / (self.shared.config.vc_queue_capacity * vcs) as f64
+    }
+}
+
+/// The sharded cycle-level network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use sf_simcore::{ShardedSimulator, UniformRandomTraffic};
+/// use sf_routing::GreediestRouting;
+/// use sf_topology::StringFigureTopology;
+/// use sf_types::{NetworkConfig, SimulationConfig, SystemConfig};
+///
+/// let topo = StringFigureTopology::generate(&NetworkConfig::new(32, 4)?)?;
+/// let mut sim = ShardedSimulator::new(
+///     topo.graph().clone(),
+///     Box::new(GreediestRouting::new(&topo)),
+///     SystemConfig::default(),
+///     SimulationConfig {
+///         max_cycles: 2_000,
+///         warmup_cycles: 200,
+///         shards: 2, // any value produces bit-identical results
+///         ..SimulationConfig::default()
+///     },
+/// )?;
+/// let stats = sim.run(&mut UniformRandomTraffic::new(32, 0.05, 7))?;
+/// assert!(stats.delivered > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ShardedSimulator {
+    shared: Shared,
+    serial: SerialState,
+}
+
+impl std::fmt::Debug for ShardedSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimulator")
+            .field("num_nodes", &self.shared.num_nodes)
+            .field("shards", &self.shared.plan.count())
+            .field("cycle", &self.serial.cycle)
+            .field("protocol", &self.shared.protocol.name())
+            .field("request_reply", &self.shared.request_reply)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedSimulator {
+    /// Creates a simulator over the given link graph and routing protocol.
+    ///
+    /// The shard count comes from `config.shards` (see
+    /// [`resolve_shard_count`] for the auto policy behind `0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfError::InvalidConfiguration`] if the simulation
+    /// configuration fails validation.
+    pub fn new(
+        graph: AdjacencyGraph,
+        protocol: Box<dyn RoutingProtocol>,
+        system: SystemConfig,
+        config: SimulationConfig,
+    ) -> SfResult<Self> {
+        config.validate()?;
+        let num_nodes = graph.num_nodes();
+        let active: Vec<bool> = (0..num_nodes)
+            .map(|i| graph.is_active(NodeId::new(i)))
+            .collect();
+        let adjacency: Vec<Vec<NodeId>> = (0..num_nodes)
+            .map(|i| graph.active_neighbors(NodeId::new(i)))
+            .collect();
+        let neighbor_index: Vec<HashMap<usize, usize>> = adjacency
+            .iter()
+            .map(|nbs| {
+                nbs.iter()
+                    .enumerate()
+                    .map(|(idx, n)| (n.index(), idx))
+                    .collect()
+            })
+            .collect();
+        let vcs = config.virtual_channels;
+        let active_count = active.iter().filter(|&&a| a).count();
+        let shard_count = resolve_shard_count(&config, active_count);
+        let plan = ShardPlan::new(&adjacency, &active, shard_count);
+
+        let mut occ_offset = Vec::with_capacity(num_nodes);
+        let mut total_counters = 0usize;
+        for nbs in &adjacency {
+            occ_offset.push(total_counters);
+            total_counters += nbs.len() * vcs;
+        }
+        let occupancy = (0..total_counters).map(|_| AtomicUsize::new(0)).collect();
+
+        let shards = (0..plan.count())
+            .map(|s| {
+                Mutex::new(ShardState {
+                    routers: plan
+                        .members(s)
+                        .iter()
+                        .map(|&node| RouterState {
+                            node,
+                            queues: vec![vec![VecDeque::new(); vcs]; adjacency[node].len()],
+                            injection: VecDeque::new(),
+                            memory: MemoryNodeModel::new(NodeId::new(node), &system),
+                            events: Vec::new(),
+                        })
+                        .collect(),
+                })
+            })
+            .collect();
+
+        Ok(Self {
+            shared: Shared {
+                system,
+                config,
+                protocol,
+                placement: None,
+                request_reply: false,
+                num_nodes,
+                active,
+                adjacency,
+                neighbor_index,
+                plan,
+                shards,
+                occupancy,
+                occ_offset,
+                done: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+            },
+            serial: SerialState {
+                cycle: 0,
+                next_packet_id: 0,
+                stats: SimulationStats::default(),
+                in_flight: Vec::new(),
+                pending_replies: BinaryHeap::new(),
+            },
+        })
+    }
+
+    /// Enables request–reply memory traffic: packets arriving at their
+    /// destination are serviced by the DRAM model and answered.
+    #[must_use]
+    pub fn with_request_reply(mut self, enabled: bool) -> Self {
+        self.shared.request_reply = enabled;
+        self
+    }
+
+    /// Attaches a 2D-grid placement so that long wires (more than the
+    /// configured grid distance) pay an extra hop of latency.
+    #[must_use]
+    pub fn with_placement(mut self, placement: GridPlacement) -> Self {
+        self.shared.placement = Some(placement);
+        self
+    }
+
+    /// The routing protocol driving this simulator.
+    #[must_use]
+    pub fn protocol_name(&self) -> &'static str {
+        self.shared.protocol.name()
+    }
+
+    /// The current simulation cycle.
+    #[must_use]
+    pub fn current_cycle(&self) -> u64 {
+        self.serial.cycle
+    }
+
+    /// Number of router shards this simulator resolved to.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shared.plan.count()
+    }
+
+    /// Number of packets currently queued, in flight, or awaiting DRAM
+    /// service.
+    #[must_use]
+    pub fn packets_outstanding(&self) -> u64 {
+        let guards = self.shared.lock_all();
+        let queued: usize = guards
+            .iter()
+            .flat_map(|shard| shard.routers.iter())
+            .map(|router| {
+                router.injection.len()
+                    + router
+                        .queues
+                        .iter()
+                        .flat_map(|per_vc| per_vc.iter())
+                        .map(VecDeque::len)
+                        .sum::<usize>()
+            })
+            .sum();
+        (queued + self.serial.in_flight.len() + self.serial.pending_replies.len()) as u64
+    }
+
+    /// Per-node memory statistics (reads, writes, row hit rate), in node-id
+    /// order.
+    #[must_use]
+    pub fn memory_stats(&self) -> Vec<crate::memory::MemoryNodeStats> {
+        let guards = self.shared.lock_all();
+        (0..self.shared.num_nodes)
+            .map(|m| {
+                let (shard, slot) = self.shared.plan.locate(m);
+                guards[shard].routers[slot].memory.stats()
+            })
+            .collect()
+    }
+
+    /// Runs the simulation with the given traffic model for the configured
+    /// number of cycles and returns the collected statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a routing error if the protocol cannot make a forwarding
+    /// decision (for example because the traffic model targets a gated node).
+    /// The error is the same one the serial reference would surface (the
+    /// lowest-id failing router wins), but a failed run's partial statistics
+    /// are unspecified.
+    pub fn run(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<SimulationStats> {
+        self.serial.stats.active_nodes = self.shared.active.iter().filter(|&&a| a).count();
+        if self.shared.plan.count() <= 1 {
+            self.run_with(traffic, None)
+        } else {
+            self.run_on_workers(traffic)
+        }
+    }
+
+    /// Spawns the K−1 worker threads and runs the coordinator loop between
+    /// them. Workers only ever execute the routing phase of their own shard;
+    /// the barrier separates them from the coordinator's serial phases.
+    fn run_on_workers(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<SimulationStats> {
+        let shared = &self.shared;
+        let serial = &mut self.serial;
+        let count = shared.plan.count();
+        let barrier = Barrier::new(count);
+        let stop = AtomicBool::new(false);
+        let epoch_cell = AtomicU64::new(0);
+        let worker_errors: Vec<Mutex<Option<(usize, SfError)>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for s in 1..count {
+                let barrier = &barrier;
+                let stop = &stop;
+                let epoch_cell = &epoch_cell;
+                let worker_errors = &worker_errors;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let epoch = epoch_cell.load(Ordering::Acquire);
+                    if let Err(failure) = shard_routing_phase(shared, s, epoch - 1, epoch) {
+                        *worker_errors[s].lock().expect("error slot poisoned") = Some(failure);
+                    }
+                    barrier.wait();
+                });
+            }
+
+            let sync = StepSync {
+                barrier: &barrier,
+                epoch_cell: &epoch_cell,
+                worker_errors: &worker_errors,
+            };
+            let result = run_loop(shared, serial, traffic, Some(&sync));
+            // Release the workers: they re-check `stop` right after the
+            // barrier they are all parked on.
+            stop.store(true, Ordering::Release);
+            barrier.wait();
+            result
+        })
+    }
+
+    fn run_with(
+        &mut self,
+        traffic: &mut dyn TrafficModel,
+        sync: Option<&StepSync<'_>>,
+    ) -> SfResult<SimulationStats> {
+        run_loop(&self.shared, &mut self.serial, traffic, sync)
+    }
+}
+
+/// Barrier plumbing the coordinator uses to drive the worker threads through
+/// one routing phase.
+struct StepSync<'a> {
+    barrier: &'a Barrier,
+    epoch_cell: &'a AtomicU64,
+    worker_errors: &'a [Mutex<Option<(usize, SfError)>>],
+}
+
+/// The injection loop followed by the drain loop — identical control flow to
+/// the reference serial simulator.
+fn run_loop(
+    shared: &Shared,
+    serial: &mut SerialState,
+    traffic: &mut dyn TrafficModel,
+    sync: Option<&StepSync<'_>>,
+) -> SfResult<SimulationStats> {
+    while serial.cycle < shared.config.max_cycles {
+        step(shared, serial, traffic, sync)?;
+    }
+    // Snapshot congestion state at the end of the injection phase: this is
+    // what the saturation heuristic looks at (draining would hide it).
+    let (queued, backlog) = queue_census(shared);
+    serial.stats.in_flight_at_end =
+        queued + backlog + (serial.in_flight.len() + serial.pending_replies.len()) as u64;
+    serial.stats.backlog_at_end = backlog;
+    // Drain phase: stop injecting and let queued packets finish, bounded by
+    // another max_cycles to avoid infinite loops on saturated runs.
+    let drain_deadline = shared.config.max_cycles * 2;
+    while serial.cycle < drain_deadline && outstanding(shared, serial) > 0 {
+        step(shared, serial, &mut NoTraffic, sync)?;
+    }
+    serial.stats.cycles = serial.cycle;
+    Ok(serial.stats.clone())
+}
+
+/// Network-queue occupancy as (in-network queued, injection backlog).
+fn queue_census(shared: &Shared) -> (u64, u64) {
+    let guards = shared.lock_all();
+    let mut queued = 0u64;
+    let mut backlog = 0u64;
+    for router in guards.iter().flat_map(|shard| shard.routers.iter()) {
+        backlog += router.injection.len() as u64;
+        queued += router
+            .queues
+            .iter()
+            .flat_map(|per_vc| per_vc.iter())
+            .map(|q| q.len() as u64)
+            .sum::<u64>();
+    }
+    (queued, backlog)
+}
+
+fn outstanding(shared: &Shared, serial: &SerialState) -> u64 {
+    let (queued, backlog) = queue_census(shared);
+    queued + backlog + (serial.in_flight.len() + serial.pending_replies.len()) as u64
+}
+
+/// Advances the simulation by one cycle.
+fn step(
+    shared: &Shared,
+    serial: &mut SerialState,
+    traffic: &mut dyn TrafficModel,
+    sync: Option<&StepSync<'_>>,
+) -> SfResult<()> {
+    let cycle = serial.cycle;
+    let epoch = cycle + 1;
+    {
+        let mut guards = shared.lock_all();
+        pre_route_phases(shared, serial, &mut guards, traffic)?;
+    }
+
+    // Routing phase: every shard processes its routers, wavefront-ordered.
+    let own_failure = match sync {
+        None => shard_routing_phase(shared, 0, cycle, epoch).err(),
+        Some(sync) => {
+            sync.epoch_cell.store(epoch, Ordering::Release);
+            sync.barrier.wait();
+            let own = shard_routing_phase(shared, 0, cycle, epoch).err();
+            sync.barrier.wait();
+            // Deterministic error selection: the lowest failing router id
+            // wins, exactly like the serial loop's first-error-encountered.
+            let mut failure = own;
+            for slot in sync.worker_errors {
+                if let Some(candidate) = slot.lock().expect("error slot poisoned").take() {
+                    let better = failure
+                        .as_ref()
+                        .is_none_or(|current| candidate.0 < current.0);
+                    if better {
+                        failure = Some(candidate);
+                    }
+                }
+            }
+            failure
+        }
+    };
+    if let Some((_, error)) = own_failure {
+        return Err(error);
+    }
+
+    // Serial commit: replay every router's deferred events in id order.
+    {
+        let mut guards = shared.lock_all();
+        commit_phase(shared, serial, &mut guards);
+    }
+    serial.cycle += 1;
+    Ok(())
+}
+
+/// Serial phases 1–3: traffic injection, reply release, link arrivals.
+fn pre_route_phases(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &mut [MutexGuard<'_, ShardState>],
+    traffic: &mut dyn TrafficModel,
+) -> SfResult<()> {
+    let cycle = serial.cycle;
+    let measuring = cycle >= shared.config.warmup_cycles;
+
+    // 1. New injections from the traffic model, in node order (the traffic
+    //    model's RNG stream is consumed in this exact order).
+    for node in 0..shared.num_nodes {
+        if !shared.active[node] {
+            continue;
+        }
+        if let Some(request) = traffic.maybe_inject(cycle, NodeId::new(node)) {
+            enqueue_request(shared, serial, guards, node, request, cycle, measuring)?;
+        }
+    }
+
+    // 2. Replies whose DRAM service completed become injectable.
+    while let Some(top) = serial.pending_replies.peek() {
+        if top.ready_cycle > cycle {
+            break;
+        }
+        let reply = serial.pending_replies.pop().expect("peeked");
+        let (shard, slot) = shared.plan.locate(reply.node);
+        guards[shard].routers[slot]
+            .injection
+            .push_back(reply.packet);
+    }
+
+    // 3. Deliver packets finishing their link traversal.
+    let mut arrived = Vec::new();
+    serial.in_flight.retain(|f| {
+        if f.arrival_cycle <= cycle {
+            arrived.push(f.clone());
+            false
+        } else {
+            true
+        }
+    });
+    for f in arrived {
+        let (shard, slot) = shared.plan.locate(f.to_node);
+        guards[shard].routers[slot].queues[f.from_index][f.vc].push_back(f.packet);
+    }
+    Ok(())
+}
+
+fn enqueue_request(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &mut [MutexGuard<'_, ShardState>],
+    source: usize,
+    request: TrafficRequest,
+    cycle: u64,
+    measuring: bool,
+) -> SfResult<()> {
+    let dest = request.destination;
+    if dest.index() >= shared.num_nodes {
+        return Err(SfError::Simulation {
+            reason: format!(
+                "traffic model produced destination {dest} outside the {}-node network",
+                shared.num_nodes
+            ),
+        });
+    }
+    if !shared.active[dest.index()] {
+        return Err(SfError::Simulation {
+            reason: format!("traffic model targeted gated node {dest}"),
+        });
+    }
+    let kind = if shared.request_reply {
+        if request.write {
+            PacketKind::WriteRequest
+        } else {
+            PacketKind::ReadRequest
+        }
+    } else {
+        PacketKind::Synthetic
+    };
+    let packet = Packet {
+        id: serial.next_packet_id,
+        source: NodeId::new(source),
+        destination: dest,
+        kind,
+        injected_at: cycle,
+        request_issued_at: cycle,
+        hops: 0,
+        virtual_channel: VirtualChannelId::UP,
+    };
+    serial.next_packet_id += 1;
+    if measuring {
+        serial.stats.injected += 1;
+    }
+    let (shard, slot) = shared.plan.locate(source);
+    let router = &mut guards[shard].routers[slot];
+    if source == dest.index() {
+        // Local access: no network traversal, service memory directly.
+        apply_eject(shared, serial, router, packet, cycle, measuring);
+        return Ok(());
+    }
+    router.injection.push_back(packet);
+    Ok(())
+}
+
+/// The routing phase of one shard for one cycle.
+///
+/// Routers are processed in increasing id order; before each router, its
+/// cross-shard smaller-id neighbours must have published this epoch. Every
+/// router's epoch is published even on failure (or a panic), so sibling
+/// shards can never spin forever.
+fn shard_routing_phase(
+    shared: &Shared,
+    s: usize,
+    cycle: u64,
+    epoch: u64,
+) -> Result<(), (usize, SfError)> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut state = shared.shards[s].lock().expect("shard state poisoned");
+        let mut failed: Option<(usize, SfError)> = None;
+        for idx in 0..state.routers.len() {
+            let node = state.routers[idx].node;
+            if shared.active[node] && failed.is_none() {
+                for &dep in shared.plan.wait_for(node) {
+                    let mut spins = 0u32;
+                    while shared.done[dep].load(Ordering::Acquire) < epoch {
+                        // A short spin burst covers the common case (the
+                        // dependency is a few routers from done); after that,
+                        // yield every iteration so an oversubscribed machine
+                        // — more shards than idle cores — makes progress
+                        // instead of burning a scheduling quantum.
+                        spins = spins.saturating_add(1);
+                        if spins < 32 {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                if let Err(error) = route_node(shared, &mut state.routers[idx], cycle) {
+                    failed = Some((node, error));
+                }
+            }
+            shared.done[node].store(epoch, Ordering::Release);
+        }
+        failed
+    }));
+    match outcome {
+        Ok(None) => Ok(()),
+        Ok(Some(failure)) => Err(failure),
+        Err(_panic) => {
+            // The mutex guard unwound mid-phase; publish all epochs so other
+            // shards cannot deadlock, then surface a deterministic-enough
+            // error (the run aborts without a commit either way).
+            for &node in shared.plan.members(s) {
+                shared.done[node].store(epoch, Ordering::Release);
+            }
+            Err((
+                usize::MAX,
+                SfError::Simulation {
+                    reason: format!("routing phase of shard {s} panicked"),
+                },
+            ))
+        }
+    }
+}
+
+/// Processes one router for one cycle: ejection and forwarding, one packet
+/// per output link per cycle, one ejection per cycle per node. Identical
+/// decision order to the reference serial simulator.
+fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult<()> {
+    let node = router.node;
+    let num_links = shared.adjacency[node].len();
+    let vcs = shared.config.virtual_channels;
+    // Queue scan order rotates every cycle for fairness; the injection queue
+    // is scanned last so in-network packets have priority.
+    let total_queues = num_links * vcs;
+    let offset = (cycle as usize) % total_queues.max(1);
+    let mut used_outputs: Vec<bool> = vec![false; num_links];
+    let mut ejected = false;
+
+    for q in 0..total_queues {
+        let idx = (q + offset) % total_queues;
+        let (link, vc) = (idx / vcs, idx % vcs);
+        let Some(packet) = router.queues[link][vc].front().cloned() else {
+            continue;
+        };
+        if packet.destination.index() == node {
+            if !ejected {
+                let packet = router.queues[link][vc]
+                    .pop_front()
+                    .expect("head packet present");
+                shared.occ(node, link, vc).fetch_sub(1, Ordering::Relaxed);
+                router.events.push(RouterEvent::Eject(packet));
+                ejected = true;
+            }
+            continue;
+        }
+        if try_forward(
+            shared,
+            &mut router.events,
+            node,
+            &packet,
+            &mut used_outputs,
+            cycle,
+        )? {
+            router.queues[link][vc].pop_front();
+            shared.occ(node, link, vc).fetch_sub(1, Ordering::Relaxed);
+        } else {
+            router.events.push(RouterEvent::Blocked);
+        }
+    }
+
+    // Injection queue: the terminal port can insert one packet per cycle.
+    if let Some(packet) = router.injection.front().cloned() {
+        if packet.destination.index() == node {
+            // A reply addressed to the local node (possible when a processor
+            // and memory share a node): deliver directly.
+            let packet = router.injection.pop_front().expect("head");
+            router.events.push(RouterEvent::Eject(packet));
+        } else if try_forward(
+            shared,
+            &mut router.events,
+            node,
+            &packet,
+            &mut used_outputs,
+            cycle,
+        )? {
+            router.injection.pop_front();
+        } else {
+            router.events.push(RouterEvent::Blocked);
+        }
+    }
+    Ok(())
+}
+
+/// Attempts to forward `packet` out of `node`; returns `true` if the packet
+/// entered a link this cycle (the Forward event is logged, credits taken).
+fn try_forward(
+    shared: &Shared,
+    events: &mut Vec<RouterEvent>,
+    node: usize,
+    packet: &Packet,
+    used_outputs: &mut [bool],
+    cycle: u64,
+) -> SfResult<bool> {
+    let ctx = RoutingContext {
+        first_hop: packet.hops == 0,
+        adaptive_threshold: shared.config.adaptive_threshold,
+    };
+    let loads = AtomicLoadView { shared };
+    let next = shared
+        .protocol
+        .next_hop(NodeId::new(node), packet.destination, &loads, &ctx)?;
+    let Some(&out_idx) = shared.neighbor_index[node].get(&next.index()) else {
+        return Err(SfError::Simulation {
+            reason: format!(
+                "protocol {} chose non-neighbour {next} from node {node}",
+                shared.protocol.name()
+            ),
+        });
+    };
+    if used_outputs[out_idx] {
+        return Ok(false);
+    }
+    let vc = shared
+        .protocol
+        .virtual_channel(NodeId::new(node), next, packet.destination)
+        .index() as usize;
+    let vc = vc.min(shared.config.virtual_channels - 1);
+    // Credit check on the downstream input queue.
+    let down_idx = shared.neighbor_index[next.index()][&node];
+    if shared
+        .occ(next.index(), down_idx, vc)
+        .load(Ordering::Relaxed)
+        >= shared.config.vc_queue_capacity
+    {
+        return Ok(false);
+    }
+    // Commit the hop.
+    used_outputs[out_idx] = true;
+    shared
+        .occ(next.index(), down_idx, vc)
+        .fetch_add(1, Ordering::Relaxed);
+    let mut moved = packet.clone();
+    moved.hops += 1;
+    moved.virtual_channel = VirtualChannelId::new(vc as u8);
+    let latency = shared.link_latency(node, next.index());
+    events.push(RouterEvent::Forward {
+        arrival_cycle: cycle + latency,
+        to_node: next.index(),
+        from_index: down_idx,
+        vc,
+        packet: moved,
+    });
+    Ok(true)
+}
+
+/// Replays every router's deferred events in router-id order, reproducing the
+/// serial loop's exact statistics/energy accumulation order, in-flight list
+/// order, and reply-id assignment order.
+fn commit_phase(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &mut [MutexGuard<'_, ShardState>],
+) {
+    let cycle = serial.cycle;
+    let measuring = cycle >= shared.config.warmup_cycles;
+    for m in 0..shared.num_nodes {
+        let (shard, slot) = shared.plan.locate(m);
+        let router = &mut guards[shard].routers[slot];
+        if router.events.is_empty() {
+            continue;
+        }
+        let mut events = std::mem::take(&mut router.events);
+        for event in events.drain(..) {
+            match event {
+                RouterEvent::Forward {
+                    arrival_cycle,
+                    to_node,
+                    from_index,
+                    vc,
+                    packet,
+                } => {
+                    if measuring {
+                        serial.stats.network_energy_pj += shared.system.energy.network_energy_pj(
+                            packet.kind.size_bits(shared.system.cacheline_bytes),
+                            1,
+                        );
+                    }
+                    serial.in_flight.push(InFlight {
+                        arrival_cycle,
+                        to_node,
+                        from_index,
+                        vc,
+                        packet,
+                    });
+                }
+                RouterEvent::Blocked => {
+                    if measuring {
+                        serial.stats.blocked_forwards += 1;
+                    }
+                }
+                RouterEvent::Eject(packet) => {
+                    apply_eject(shared, serial, router, packet, cycle, measuring);
+                }
+            }
+        }
+        // Hand the (drained) buffer back so the next cycle reuses the
+        // allocation.
+        router.events = events;
+    }
+}
+
+/// Delivery at the destination: statistics, DRAM service, reply scheduling.
+/// `router` must be the state of `packet.destination`.
+fn apply_eject(
+    shared: &Shared,
+    serial: &mut SerialState,
+    router: &mut RouterState,
+    packet: Packet,
+    cycle: u64,
+    measuring: bool,
+) {
+    let node = packet.destination.index();
+    let latency = cycle.saturating_sub(packet.injected_at);
+    if measuring {
+        serial.stats.delivered += 1;
+        serial.stats.total_latency_cycles += latency;
+        serial.stats.max_latency_cycles = serial.stats.max_latency_cycles.max(latency);
+        serial.stats.total_hops += u64::from(packet.hops);
+    }
+    match packet.kind {
+        PacketKind::ReadReply | PacketKind::WriteAck => {
+            if measuring {
+                serial.stats.completed_requests += 1;
+                serial.stats.total_round_trip_cycles +=
+                    cycle.saturating_sub(packet.request_issued_at);
+            }
+        }
+        PacketKind::ReadRequest | PacketKind::WriteRequest => {
+            // Service the DRAM access and schedule the reply.
+            let address = packet.id.wrapping_mul(64) % (1 << 33);
+            let service = router
+                .memory
+                .access(address, packet.kind == PacketKind::WriteRequest);
+            if measuring {
+                serial.stats.dram_energy_pj += shared
+                    .system
+                    .energy
+                    .dram_energy_pj(shared.system.cacheline_bytes as u64 * 8);
+            }
+            if let Some(reply_kind) = packet.kind.reply_kind() {
+                let reply = Packet {
+                    id: serial.next_packet_id,
+                    source: packet.destination,
+                    destination: packet.source,
+                    kind: reply_kind,
+                    injected_at: cycle + service,
+                    request_issued_at: packet.request_issued_at,
+                    hops: 0,
+                    virtual_channel: VirtualChannelId::UP,
+                };
+                serial.next_packet_id += 1;
+                serial.pending_replies.push(PendingReply {
+                    ready_cycle: cycle + service,
+                    node,
+                    packet: reply,
+                });
+            }
+        }
+        PacketKind::Synthetic => {}
+    }
+}
+
+/// A traffic model that never injects; used internally for the drain phase.
+struct NoTraffic;
+
+impl TrafficModel for NoTraffic {
+    fn maybe_inject(&mut self, _cycle: u64, _source: NodeId) -> Option<TrafficRequest> {
+        None
+    }
+
+    fn is_exhausted(&self) -> bool {
+        true
+    }
+}
+
+/// Simple uniform-random synthetic traffic, provided here so the kernel is
+/// usable stand-alone; richer patterns and application models live in
+/// `sf-workloads`.
+#[derive(Debug, Clone)]
+pub struct UniformRandomTraffic {
+    num_nodes: usize,
+    injection_rate: f64,
+    rng: sf_types::DeterministicRng,
+}
+
+impl UniformRandomTraffic {
+    /// Creates uniform-random traffic over `num_nodes` nodes where every node
+    /// injects with probability `injection_rate` each cycle.
+    #[must_use]
+    pub fn new(num_nodes: usize, injection_rate: f64, seed: u64) -> Self {
+        Self {
+            num_nodes,
+            injection_rate,
+            rng: sf_types::DeterministicRng::new(seed),
+        }
+    }
+}
+
+impl TrafficModel for UniformRandomTraffic {
+    fn maybe_inject(&mut self, _cycle: u64, source: NodeId) -> Option<TrafficRequest> {
+        if !self.rng.next_bool(self.injection_rate) {
+            return None;
+        }
+        // Pick a destination different from the source.
+        let mut dest = self.rng.next_index(self.num_nodes);
+        if dest == source.index() {
+            dest = (dest + 1) % self.num_nodes;
+        }
+        Some(TrafficRequest::read(NodeId::new(dest)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_routing::GreediestRouting;
+    use sf_topology::StringFigureTopology;
+    use sf_types::NetworkConfig;
+
+    fn sim(nodes: usize, shards: usize, max_cycles: u64) -> ShardedSimulator {
+        let topo = StringFigureTopology::generate(&NetworkConfig::new(nodes, 4).unwrap()).unwrap();
+        ShardedSimulator::new(
+            topo.graph().clone(),
+            Box::new(GreediestRouting::new(&topo)),
+            SystemConfig::default(),
+            SimulationConfig {
+                max_cycles,
+                warmup_cycles: max_cycles / 10,
+                shards,
+                ..SimulationConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn any_shard_count_is_bit_identical_to_serial() {
+        let reference = sim(48, 1, 1_500)
+            .run(&mut UniformRandomTraffic::new(48, 0.08, 11))
+            .unwrap();
+        assert!(reference.delivered > 0);
+        for shards in [2usize, 3, 4, 7] {
+            let stats = sim(48, shards, 1_500)
+                .run(&mut UniformRandomTraffic::new(48, 0.08, 11))
+                .unwrap();
+            assert_eq!(stats, reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn request_reply_mode_is_shard_independent() {
+        let run = |shards: usize| {
+            let mut s = sim(32, shards, 2_000).with_request_reply(true);
+            let stats = s.run(&mut UniformRandomTraffic::new(32, 0.04, 5)).unwrap();
+            (stats, s.memory_stats())
+        };
+        let (ref_stats, ref_memory) = run(1);
+        assert!(ref_stats.completed_requests > 0);
+        for shards in [2usize, 5] {
+            let (stats, memory) = run(shards);
+            assert_eq!(stats, ref_stats, "shards={shards}");
+            assert_eq!(memory, ref_memory, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn placement_is_shard_independent() {
+        let topo = StringFigureTopology::generate(&NetworkConfig::new(64, 4).unwrap()).unwrap();
+        let run = |shards: usize| {
+            let mut s = ShardedSimulator::new(
+                topo.graph().clone(),
+                Box::new(GreediestRouting::new(&topo)),
+                SystemConfig::default(),
+                SimulationConfig {
+                    max_cycles: 1_200,
+                    warmup_cycles: 150,
+                    long_wire_penalty_cycles: 2,
+                    shards,
+                    ..SimulationConfig::default()
+                },
+            )
+            .unwrap()
+            .with_placement(GridPlacement::row_major(64));
+            s.run(&mut UniformRandomTraffic::new(64, 0.05, 9)).unwrap()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn shard_count_resolution_is_reported() {
+        let s = sim(24, 5, 500);
+        assert_eq!(s.shard_count(), 5);
+        assert_eq!(s.current_cycle(), 0);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("ShardedSimulator"));
+    }
+
+    #[test]
+    fn errors_are_deterministic_across_shard_counts() {
+        struct TargetInvalid;
+        impl TrafficModel for TargetInvalid {
+            fn maybe_inject(&mut self, _cycle: u64, source: NodeId) -> Option<TrafficRequest> {
+                (source.index() == 3).then(|| TrafficRequest::read(NodeId::new(999)))
+            }
+        }
+        let e1 = sim(16, 1, 400).run(&mut TargetInvalid).unwrap_err();
+        let e4 = sim(16, 4, 400).run(&mut TargetInvalid).unwrap_err();
+        assert_eq!(e1.to_string(), e4.to_string());
+    }
+}

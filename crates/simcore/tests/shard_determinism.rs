@@ -1,0 +1,184 @@
+//! The determinism contract of the sharded kernel, property-tested: for
+//! arbitrary topologies, injection rates, seeds, and traffic modes, running
+//! with K ∈ {1, 2, 4, 7} shards yields **byte-identical** statistics (and
+//! identical per-node memory-model state). One shard is the serial
+//! reference, so this simultaneously pins the sharded paths to the
+//! historical serial simulator's behaviour.
+
+use proptest::prelude::*;
+use sf_routing::GreediestRouting;
+use sf_simcore::{ShardedSimulator, SimulationStats, UniformRandomTraffic};
+use sf_topology::StringFigureTopology;
+use sf_types::{NetworkConfig, SimulationConfig, SystemConfig};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn run_once(
+    topo: &StringFigureTopology,
+    nodes: usize,
+    shards: usize,
+    rate: f64,
+    seed: u64,
+    request_reply: bool,
+) -> (SimulationStats, Vec<sf_simcore::MemoryNodeStats>) {
+    let mut sim = ShardedSimulator::new(
+        topo.graph().clone(),
+        Box::new(GreediestRouting::new(topo)),
+        SystemConfig::default(),
+        SimulationConfig {
+            max_cycles: 900,
+            warmup_cycles: 150,
+            shards,
+            ..SimulationConfig::default()
+        },
+    )
+    .unwrap()
+    .with_request_reply(request_reply);
+    assert_eq!(sim.shard_count(), shards.min(nodes));
+    let stats = sim
+        .run(&mut UniformRandomTraffic::new(nodes, rate, seed))
+        .unwrap();
+    (stats, sim.memory_stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// K ∈ {1, 2, 4, 7} shards: byte-identical `SimulationStats`, identical
+    /// DRAM model state, for arbitrary topology seeds, loads, and modes.
+    #[test]
+    fn prop_shard_count_never_changes_results(
+        nodes in 24usize..72,
+        topo_seed in any::<u16>(),
+        rate_milli in 10u64..400,
+        traffic_seed in any::<u16>(),
+        request_reply in any::<bool>(),
+    ) {
+        let config = NetworkConfig::new(nodes, 4)
+            .unwrap()
+            .with_seed(u64::from(topo_seed));
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        let rate = rate_milli as f64 / 1000.0;
+        let reference = run_once(
+            &topo,
+            nodes,
+            1,
+            rate,
+            u64::from(traffic_seed),
+            request_reply,
+        );
+        prop_assert!(reference.0.injected > 0);
+        for &shards in &SHARD_COUNTS[1..] {
+            let sharded = run_once(
+                &topo,
+                nodes,
+                shards,
+                rate,
+                u64::from(traffic_seed),
+                request_reply,
+            );
+            prop_assert_eq!(&sharded.0, &reference.0, "shards={}", shards);
+            prop_assert_eq!(&sharded.1, &reference.1, "shards={}", shards);
+        }
+    }
+}
+
+/// Saturated networks stress the credit/occupancy coupling hardest: every
+/// cycle is full of blocked forwards, adaptive diversions, and contested
+/// credits, so any ordering bug between shards would show up here first.
+#[test]
+fn saturated_network_is_shard_count_independent() {
+    let topo =
+        StringFigureTopology::generate(&NetworkConfig::new(48, 4).unwrap().with_seed(3)).unwrap();
+    let reference = run_once(&topo, 48, 1, 0.9, 17, false);
+    assert!(reference.0.is_saturated());
+    for &shards in &SHARD_COUNTS[1..] {
+        let sharded = run_once(&topo, 48, shards, 0.9, 17, false);
+        assert_eq!(sharded.0, reference.0, "shards={shards}");
+    }
+}
+
+/// Uniform-random traffic over only the active (non-gated) nodes of a
+/// partially powered-down network.
+#[derive(Debug)]
+struct ActiveUniform {
+    active: Vec<sf_types::NodeId>,
+    rate: f64,
+    rng: sf_types::DeterministicRng,
+}
+
+impl sf_simcore::TrafficModel for ActiveUniform {
+    fn maybe_inject(
+        &mut self,
+        _cycle: u64,
+        source: sf_types::NodeId,
+    ) -> Option<sf_simcore::TrafficRequest> {
+        if !self.rng.next_bool(self.rate) {
+            return None;
+        }
+        let pick = self.rng.next_index(self.active.len());
+        let dest = if self.active[pick] == source {
+            self.active[(pick + 1) % self.active.len()]
+        } else {
+            self.active[pick]
+        };
+        Some(sf_simcore::TrafficRequest::read(dest))
+    }
+}
+
+/// Power-gated topologies (the Figure 9b study's regime) exercise the
+/// kernel's inactive-router handling end to end: epoch publication for
+/// skipped routers, wait lists that exclude gated neighbours, and arrival
+/// delivery over a partially disabled adjacency — all must stay
+/// shard-count-independent.
+#[test]
+fn gated_topologies_are_shard_count_independent() {
+    let mut topo =
+        StringFigureTopology::generate(&NetworkConfig::new(64, 4).unwrap().with_seed(7)).unwrap();
+    for i in [3usize, 17, 31, 45] {
+        topo.gate_node(sf_types::NodeId::new(i)).unwrap();
+    }
+    let active: Vec<sf_types::NodeId> = topo.graph().active_nodes().collect();
+    assert_eq!(active.len(), 60);
+    let run = |shards: usize| {
+        let mut routing = GreediestRouting::new(&topo);
+        routing.resync(topo.graph(), topo.spaces());
+        let mut sim = ShardedSimulator::new(
+            topo.graph().clone(),
+            Box::new(routing),
+            SystemConfig::default(),
+            SimulationConfig {
+                max_cycles: 1_000,
+                warmup_cycles: 150,
+                shards,
+                ..SimulationConfig::default()
+            },
+        )
+        .unwrap()
+        .with_request_reply(true);
+        let mut traffic = ActiveUniform {
+            active: active.clone(),
+            rate: 0.08,
+            rng: sf_types::DeterministicRng::new(23),
+        };
+        let stats = sim.run(&mut traffic).unwrap();
+        (stats, sim.memory_stats())
+    };
+    let reference = run(1);
+    assert!(reference.0.delivered > 0);
+    assert_eq!(reference.0.active_nodes, 60);
+    for shards in [2usize, 4, 7] {
+        assert_eq!(run(shards), reference, "shards={shards}");
+    }
+}
+
+/// More shards than routers must degrade gracefully to one router per shard.
+#[test]
+fn more_shards_than_routers_is_clamped_and_identical() {
+    let topo =
+        StringFigureTopology::generate(&NetworkConfig::new(9, 4).unwrap().with_seed(1)).unwrap();
+    let reference = run_once(&topo, 9, 1, 0.2, 5, true);
+    let clamped = run_once(&topo, 9, 9, 0.2, 5, true);
+    assert_eq!(clamped.0, reference.0);
+    assert_eq!(clamped.1, reference.1);
+}

@@ -345,6 +345,11 @@ pub struct SimulationConfig {
     pub warmup_cycles: u64,
     /// Seed for simulator randomness (injection jitter, tie breaking).
     pub seed: u64,
+    /// Number of router shards the cycle loop is split across (`0` = auto:
+    /// derive from the machine's core budget, minus whatever the sweep-level
+    /// worker pool already claimed). Results are bit-identical for any value
+    /// — this knob only trades wall-clock time, never output.
+    pub shards: usize,
 }
 
 impl Default for SimulationConfig {
@@ -359,11 +364,20 @@ impl Default for SimulationConfig {
             max_cycles: 20_000,
             warmup_cycles: 1_000,
             seed: 0xabcd_1234,
+            shards: 0,
         }
     }
 }
 
 impl SimulationConfig {
+    /// Returns a copy of this configuration with an explicit shard count
+    /// (`0` restores automatic selection).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
