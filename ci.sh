@@ -24,20 +24,50 @@ echo "==> cargo test -q"
 cargo test -q
 
 if [[ "${1:-}" != "--quick" ]]; then
-    # Smoke the full stack with BOTH parallelism layers forced on: a
-    # 2-worker sweep pool around 2-shard cycle-level simulations. The run's
-    # artifact must be byte-identical to the fully serial run — that is the
-    # determinism contract of sf-harness and sf-simcore.
-    echo "==> fig10_saturation --quick smoke (2 sweep workers x 2 sim shards)"
+    sfbench=./target/release/sfbench
+
+    # Smoke the full stack through the unified CLI with BOTH parallelism
+    # layers forced on: a 2-worker sweep pool around 2-shard cycle-level
+    # simulations. The run's artifact must be byte-identical to the fully
+    # serial run — that is the determinism contract of sf-harness and
+    # sf-simcore.
+    echo "==> sfbench run fig10 --quick smoke (2 sweep workers x 2 sim shards)"
     serial_csv="$(mktemp)"
     sharded_csv="$(mktemp)"
     SF_HARNESS_THREADS=1 SF_SIM_SHARDS=1 \
-        cargo run --release -q -p sf-bench --bin fig10_saturation -- --quick --csv "$serial_csv" >/dev/null
+        "$sfbench" run fig10 --quick --no-resume --csv "$serial_csv" >/dev/null
     SF_HARNESS_THREADS=2 SF_SIM_SHARDS=2 \
-        cargo run --release -q -p sf-bench --bin fig10_saturation -- --quick --csv "$sharded_csv" >/dev/null
+        "$sfbench" run fig10 --quick --no-resume --csv "$sharded_csv" >/dev/null
     cmp "$serial_csv" "$sharded_csv"
     rm -f "$serial_csv" "$sharded_csv"
     echo "==> smoke artifacts byte-identical"
+
+    # Checkpoint/resume smoke: start a run, kill -9 it after the journal has
+    # flushed at least one completed job, rerun the same command (which
+    # resumes from the journal), and demand bytes identical to a clean run.
+    echo "==> checkpoint/resume smoke (kill -9 after first journal flush)"
+    resume_csv="$(mktemp)"
+    clean_csv="$(mktemp)"
+    rm -f "$resume_csv.journal"
+    SF_HARNESS_THREADS=1 "$sfbench" run fig10 --quick --csv "$resume_csv" >/dev/null 2>&1 &
+    run_pid=$!
+    for _ in $(seq 1 1500); do
+        if [[ -f "$resume_csv.journal" ]] \
+            && (( $(wc -l < "$resume_csv.journal") >= 2 )); then
+            break
+        fi
+        sleep 0.01
+    done
+    kill -9 "$run_pid" 2>/dev/null || true
+    wait "$run_pid" 2>/dev/null || true
+    if [[ ! -f "$resume_csv.journal" ]]; then
+        echo "    note: run finished before the kill; resume path not exercised this time"
+    fi
+    SF_HARNESS_THREADS=1 "$sfbench" run fig10 --quick --csv "$resume_csv" >/dev/null
+    "$sfbench" run fig10 --quick --no-resume --csv "$clean_csv" >/dev/null
+    cmp "$resume_csv" "$clean_csv"
+    rm -f "$resume_csv" "$clean_csv" "$resume_csv.journal"
+    echo "==> resumed artifact byte-identical to a clean run"
 fi
 
 echo "==> CI green"

@@ -1,43 +1,6 @@
-//! Section V methodology — empirical minimum bisection bandwidth of each
-//! design (50 random bisections, averaged over 20 generated topologies).
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin bisection_bandwidth \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run bisection`.
 
-use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
-use stringfigure::experiments::bisection_study;
-use stringfigure::TopologyKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = quick_mode();
-    let (sizes, cuts, topologies): (Vec<usize>, usize, u64) = if quick {
-        (vec![64], 10, 3)
-    } else {
-        (vec![64, 128, 256], 50, 20)
-    };
-    eprintln!("# Empirical minimum bisection bandwidth (links across the cut)");
-    eprintln!("# {cuts} random bisections per topology, {topologies} topologies per design");
-    announce_pool();
-    let mut table = Vec::new();
-    let mut all_rows = Vec::new();
-    for &nodes in &sizes {
-        let rows = bisection_study(&TopologyKind::ALL, nodes, cuts, topologies)?;
-        for row in rows {
-            table.push(vec![
-                nodes.to_string(),
-                row.kind.to_string(),
-                row.minimum.to_string(),
-                fmt_f(row.average),
-            ]);
-            all_rows.push(row);
-        }
-    }
-    print_table(
-        &["nodes", "design", "min bisection", "avg bisection"],
-        &table,
-    );
-    emit_records(&all_rows)?;
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("bisection"));
 }

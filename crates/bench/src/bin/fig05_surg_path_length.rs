@@ -1,38 +1,6 @@
-//! Figure 5 — average shortest path lengths of Jellyfish, S2, and String
-//! Figure across network sizes (sufficiently-uniform random graph check).
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig05_surg_path_length \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig05`.
 
-use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
-use stringfigure::experiments::surg_path_length_study;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (sizes, seeds): (Vec<usize>, u64) = if quick_mode() {
-        (vec![100, 200, 400], 3)
-    } else {
-        // The paper's x-axis: 100, 200, 400, 800, 1200 nodes, averaged over
-        // 20 generated topologies.
-        (vec![100, 200, 400, 800, 1200], 20)
-    };
-    eprintln!("# Figure 5: average shortest path length (lower is better)");
-    eprintln!("# averaging over {seeds} generated topologies per point");
-    announce_pool();
-    let rows = surg_path_length_study(&sizes, seeds)?;
-    emit_records(&rows)?;
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.nodes.to_string(),
-                fmt_f(r.jellyfish),
-                fmt_f(r.s2),
-                fmt_f(r.string_figure),
-            ]
-        })
-        .collect();
-    print_table(&["nodes", "Jellyfish", "S2", "String Figure"], &table);
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig05"));
 }

@@ -1,65 +1,6 @@
-//! Figure 8 / Table II — evaluated network configurations (router ports and
-//! link counts per design and scale) and the qualitative feature matrix.
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig08_table02_configs \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig08`.
 
-use sf_bench::{announce_pool, emit_records, print_table, quick_mode};
-use stringfigure::experiments::configuration_table;
-use stringfigure::TopologyKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let sizes: Vec<usize> = if quick_mode() {
-        vec![16, 61, 128]
-    } else {
-        // Figure 8's column headers.
-        vec![16, 17, 32, 61, 64, 113, 128, 256, 512, 1024, 1296]
-    };
-    eprintln!("# Figure 8: evaluated configurations (router ports, links)");
-    announce_pool();
-    let rows = configuration_table(&TopologyKind::ALL, &sizes, 1)?;
-    emit_records(&rows)?;
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.kind.to_string(),
-                r.nodes.to_string(),
-                r.router_ports.to_string(),
-                r.links.to_string(),
-            ]
-        })
-        .collect();
-    print_table(&["design", "nodes", "router ports", "links"], &table);
-
-    println!();
-    eprintln!("# Table II: topology features and requirements");
-    let feature_rows: Vec<Vec<String>> = TopologyKind::ALL
-        .iter()
-        .map(|k| {
-            vec![
-                k.to_string(),
-                if k.requires_high_radix() { "yes" } else { "no" }.to_string(),
-                if k.requires_high_radix() { "yes" } else { "no" }.to_string(),
-                if k.supports_reconfiguration() {
-                    "yes"
-                } else {
-                    "no"
-                }
-                .to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "design",
-            "high-radix routers",
-            "port scaling",
-            "reconfigurable scaling",
-        ],
-        &feature_rows,
-    );
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig08"));
 }

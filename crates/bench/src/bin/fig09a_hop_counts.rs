@@ -1,46 +1,6 @@
-//! Figure 9(a) — average hop counts of DM, ODM, FB, AFB, S2-ideal, and SF as
-//! the number of memory nodes grows.
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig09a_hop_counts \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig09a`.
 
-use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode};
-use stringfigure::experiments::hop_count_study;
-use stringfigure::TopologyKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (sizes, samples): (Vec<usize>, usize) = if quick_mode() {
-        (vec![16, 64, 128], 500)
-    } else {
-        (vec![16, 32, 64, 128, 256, 512, 1024, 1296], 2_000)
-    };
-    eprintln!("# Figure 9(a): average hop counts (routed) per design and scale");
-    announce_pool();
-    let rows = hop_count_study(&TopologyKind::ALL, &sizes, samples, 7)?;
-    emit_records(&rows)?;
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.kind.to_string(),
-                r.nodes.to_string(),
-                fmt_f(r.average_routed_hops),
-                fmt_f(r.average_shortest_path),
-                r.router_ports.to_string(),
-            ]
-        })
-        .collect();
-    print_table(
-        &[
-            "design",
-            "nodes",
-            "avg routed hops",
-            "avg shortest path",
-            "ports",
-        ],
-        &table,
-    );
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig09a"));
 }

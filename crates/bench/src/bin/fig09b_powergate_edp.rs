@@ -1,68 +1,6 @@
-//! Figure 9(b) — normalised energy-delay product of String Figure when
-//! power-gating increasing fractions of the memory network, across workloads.
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig09b_powergate_edp \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig09b`.
 
-use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode, shard_override};
-use sf_harness::table::{Record, Table};
-use sf_workloads::ApplicationModel;
-use stringfigure::experiments::{power_gating_study, ExperimentScale, PowerGateRow};
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = quick_mode();
-    let nodes = if quick { 64 } else { 324 };
-    let scale = if quick {
-        ExperimentScale::quick()
-    } else {
-        ExperimentScale {
-            max_cycles: 8_000,
-            warmup_cycles: 1_000,
-            ..ExperimentScale::paper()
-        }
-    }
-    .with_shards(shard_override());
-    let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
-    let workloads: &[ApplicationModel] = if quick {
-        &[ApplicationModel::SparkWordcount, ApplicationModel::Redis]
-    } else {
-        &ApplicationModel::ALL
-    };
-    eprintln!("# Figure 9(b): normalised EDP vs fraction of nodes power-gated (lower is better)");
-    eprintln!("# network: String Figure, {nodes} nodes, 4 CPU sockets");
-    announce_pool();
-    let mut table = Vec::new();
-    // PowerGateRow doesn't carry its workload, so the artifact table
-    // prepends that column to the Record's own.
-    let mut artifact =
-        Table::with_columns(&[&["workload"], PowerGateRow::columns().as_slice()].concat());
-    for &workload in workloads {
-        let rows = power_gating_study(nodes, &fractions, workload, 4, scale, 2019)?;
-        for row in rows {
-            table.push(vec![
-                workload.name().to_string(),
-                format!("{:.0}%", row.gated_fraction * 100.0),
-                row.gated_nodes.to_string(),
-                fmt_f(row.normalized_edp),
-                fmt_f(row.average_round_trip_cycles),
-            ]);
-            let mut cells = vec![workload.name().into()];
-            cells.extend(row.values());
-            artifact.push_row(cells);
-        }
-    }
-    emit_table(&artifact)?;
-    print_table(
-        &[
-            "workload",
-            "gated",
-            "gated nodes",
-            "normalised EDP",
-            "avg round trip (cycles)",
-        ],
-        &table,
-    );
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig09b"));
 }

@@ -1,62 +1,6 @@
-//! Figure 10 — network saturation points across numbers of memory nodes for
-//! the uniform random, hotspot, and tornado traffic patterns.
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig10_saturation \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig10`.
 
-use sf_bench::{announce_pool, emit_records, fmt_percent, print_table, quick_mode, shard_override};
-use sf_workloads::SyntheticPattern;
-use stringfigure::experiments::{saturation_study, ExperimentScale};
-use stringfigure::TopologyKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = quick_mode();
-    let sizes: Vec<usize> = if quick {
-        vec![16, 64]
-    } else {
-        vec![16, 64, 128, 256, 512]
-    };
-    let rates: Vec<f64> = if quick {
-        vec![0.05, 0.2, 0.4, 0.7]
-    } else {
-        vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]
-    };
-    let scale = if quick {
-        ExperimentScale::quick()
-    } else {
-        ExperimentScale {
-            max_cycles: 6_000,
-            warmup_cycles: 800,
-            ..ExperimentScale::paper()
-        }
-    }
-    .with_shards(shard_override());
-    let patterns = [
-        SyntheticPattern::UniformRandom,
-        SyntheticPattern::Hotspot,
-        SyntheticPattern::Tornado,
-    ];
-    eprintln!("# Figure 10: saturation injection rate (higher is better; 'saturated' = saturates at the lowest rate)");
-    announce_pool();
-    let mut table = Vec::new();
-    let mut all_rows = Vec::new();
-    for pattern in patterns {
-        for &nodes in &sizes {
-            let rows = saturation_study(&TopologyKind::ALL, nodes, pattern, &rates, scale, 3)?;
-            for row in rows {
-                table.push(vec![
-                    pattern.to_string(),
-                    nodes.to_string(),
-                    row.kind.to_string(),
-                    fmt_percent(row.saturation_percent),
-                ]);
-                all_rows.push(row);
-            }
-        }
-    }
-    print_table(&["pattern", "nodes", "design", "saturation point"], &table);
-    emit_records(&all_rows)?;
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig10"));
 }

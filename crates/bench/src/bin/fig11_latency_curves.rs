@@ -1,82 +1,6 @@
-//! Figure 11 — average packet latency versus injection rate for every
-//! synthetic traffic pattern (networks below one thousand nodes).
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig11_latency_curves \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig11`.
 
-use sf_bench::{announce_pool, emit_table, fmt_f, print_table, quick_mode, shard_override};
-use sf_harness::table::{Record, Table};
-use sf_workloads::SyntheticPattern;
-use stringfigure::experiments::LatencyPoint;
-use stringfigure::experiments::{latency_curve, ExperimentScale};
-use stringfigure::TopologyKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = quick_mode();
-    let nodes = if quick { 64 } else { 256 };
-    let rates: Vec<f64> = if quick {
-        vec![0.05, 0.2, 0.5]
-    } else {
-        vec![0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]
-    };
-    let scale = if quick {
-        ExperimentScale::quick()
-    } else {
-        ExperimentScale {
-            max_cycles: 6_000,
-            warmup_cycles: 800,
-            ..ExperimentScale::paper()
-        }
-    }
-    .with_shards(shard_override());
-    let kinds = if quick {
-        vec![TopologyKind::DistributedMesh, TopologyKind::StringFigure]
-    } else {
-        TopologyKind::ALL.to_vec()
-    };
-    let patterns = if quick {
-        vec![SyntheticPattern::UniformRandom, SyntheticPattern::Tornado]
-    } else {
-        SyntheticPattern::ALL.to_vec()
-    };
-    eprintln!("# Figure 11: average packet latency (cycles) vs injection rate, {nodes} nodes");
-    announce_pool();
-    let mut table = Vec::new();
-    // LatencyPoint rows don't carry their (pattern, design) context, so the
-    // artifact table prepends those two columns to the Record's own.
-    let mut artifact =
-        Table::with_columns(&[&["pattern", "design"], LatencyPoint::columns().as_slice()].concat());
-    for &pattern in &patterns {
-        for &kind in &kinds {
-            let points = latency_curve(kind, nodes, pattern, &rates, scale, 5)?;
-            for p in points {
-                table.push(vec![
-                    pattern.to_string(),
-                    kind.to_string(),
-                    format!("{:.2}", p.injection_rate),
-                    fmt_f(p.average_latency_cycles),
-                    fmt_f(p.accepted_throughput),
-                    if p.saturated { "yes" } else { "no" }.to_string(),
-                ]);
-                let mut cells = vec![pattern.to_string().into(), kind.name().into()];
-                cells.extend(p.values());
-                artifact.push_row(cells);
-            }
-        }
-    }
-    print_table(
-        &[
-            "pattern",
-            "design",
-            "rate",
-            "avg latency",
-            "accepted throughput",
-            "saturated",
-        ],
-        &table,
-    );
-    emit_table(&artifact)?;
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig11"));
 }

@@ -1,99 +1,6 @@
-//! Figure 12 — normalised system throughput (12a, vs DM) and normalised
-//! dynamic memory energy (12b, vs AFB) for the real-workload models.
-//!
-//! ```text
-//! cargo run --release -p sf-bench --bin fig12_workloads \
-//!     [-- --quick] [--csv out.csv] [--json out.json]
-//! ```
+//! Shim: delegates to the unified study registry — identical flags and
+//! byte-identical artifacts to `sfbench run fig12`.
 
-use sf_bench::{announce_pool, emit_records, fmt_f, print_table, quick_mode, shard_override};
-use sf_workloads::ApplicationModel;
-use stringfigure::experiments::{workload_study, ExperimentScale};
-use stringfigure::TopologyKind;
-
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = quick_mode();
-    let nodes = if quick { 64 } else { 256 };
-    let scale = if quick {
-        ExperimentScale::quick()
-    } else {
-        ExperimentScale {
-            max_cycles: 8_000,
-            warmup_cycles: 1_000,
-            ..ExperimentScale::paper()
-        }
-    }
-    .with_shards(shard_override());
-    let workloads: Vec<ApplicationModel> = if quick {
-        vec![ApplicationModel::SparkWordcount, ApplicationModel::Redis]
-    } else {
-        ApplicationModel::ALL.to_vec()
-    };
-    // The paper normalises throughput to DM and energy to AFB; ODM, S2-ideal,
-    // and SF are the compared designs.
-    let kinds = [
-        TopologyKind::DistributedMesh,
-        TopologyKind::OptimizedMesh,
-        TopologyKind::AdaptedFlattenedButterfly,
-        TopologyKind::SpaceShuffle,
-        TopologyKind::StringFigure,
-    ];
-    eprintln!("# Figure 12: workloads on {nodes} memory nodes, 4 CPU sockets");
-    announce_pool();
-    let rows = workload_study(&kinds, &workloads, nodes, 4, scale, 2019)?;
-    emit_records(&rows)?;
-
-    let get = |kind, workload| {
-        rows.iter()
-            .find(|r| r.kind == kind && r.workload == workload)
-            .expect("row exists")
-    };
-
-    eprintln!("\n# Figure 12(a): throughput normalised to DM (higher is better)");
-    let mut thr = Vec::new();
-    let mut geo: Vec<(TopologyKind, f64)> = Vec::new();
-    for &kind in &[
-        TopologyKind::OptimizedMesh,
-        TopologyKind::AdaptedFlattenedButterfly,
-        TopologyKind::SpaceShuffle,
-        TopologyKind::StringFigure,
-    ] {
-        let mut log_sum = 0.0;
-        for &w in &workloads {
-            let base = get(TopologyKind::DistributedMesh, w).requests_per_cycle;
-            let val = get(kind, w).requests_per_cycle / base.max(f64::MIN_POSITIVE);
-            log_sum += val.ln();
-            thr.push(vec![w.name().to_string(), kind.to_string(), fmt_f(val)]);
-        }
-        geo.push((kind, (log_sum / workloads.len() as f64).exp()));
-    }
-    for (kind, g) in &geo {
-        thr.push(vec!["geomean".to_string(), kind.to_string(), fmt_f(*g)]);
-    }
-    print_table(&["workload", "design", "normalised throughput"], &thr);
-
-    eprintln!(
-        "\n# Figure 12(b): dynamic memory energy per request normalised to AFB (lower is better)"
-    );
-    let mut energy = Vec::new();
-    for &kind in &[
-        TopologyKind::OptimizedMesh,
-        TopologyKind::SpaceShuffle,
-        TopologyKind::StringFigure,
-    ] {
-        let mut log_sum = 0.0;
-        for &w in &workloads {
-            let base = get(TopologyKind::AdaptedFlattenedButterfly, w).energy_per_request_pj;
-            let val = get(kind, w).energy_per_request_pj / base.max(f64::MIN_POSITIVE);
-            log_sum += val.ln();
-            energy.push(vec![w.name().to_string(), kind.to_string(), fmt_f(val)]);
-        }
-        energy.push(vec![
-            "geomean".to_string(),
-            kind.to_string(),
-            fmt_f((log_sum / workloads.len() as f64).exp()),
-        ]);
-    }
-    print_table(&["workload", "design", "normalised energy"], &energy);
-    Ok(())
+fn main() {
+    std::process::exit(sf_bench::cli::delegate("fig12"));
 }

@@ -1,0 +1,297 @@
+//! The `sfbench` command-line interface: one multiplexed entry point over
+//! the [`StudyRegistry`] of paper artefacts, plus the single flag parser
+//! every binary in this crate uses.
+//!
+//! ```text
+//! sfbench list                          # all studies with their artefacts
+//! sfbench grid fig10 --quick            # sweep axes and job count
+//! sfbench run fig10 --quick --csv f.csv # run a study, emit artifacts
+//! ```
+//!
+//! The historical per-figure binaries (`fig10_saturation`, …) are shims
+//! over [`delegate`], so `fig10_saturation --quick --csv f.csv` and
+//! `sfbench run fig10 --quick --csv f.csv` are the same code path and emit
+//! byte-identical artifacts.
+//!
+//! ## Checkpoint/resume
+//!
+//! `run` with `--csv PATH` journals every completed sweep job to
+//! `PATH.journal`. If the process is killed, rerunning the same command
+//! restores the finished jobs from the journal and completes the rest — the
+//! final CSV is byte-identical to an uninterrupted run. The journal is
+//! removed once the artifact is written. `--no-resume` disables the journal;
+//! `--checkpoint PATH` picks an explicit journal location (works without
+//! `--csv` too).
+
+use stringfigure::study::{execute, print_result_table, RunContext, Study, StudyRegistry};
+
+/// Parsed command-line arguments: the one flag-parsing code path shared by
+/// `sfbench`, the shim binaries, and the legacy `sf_bench::arg_value`
+/// helpers. Supports both `--flag value` and `--flag=value`.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    raw: Vec<String>,
+}
+
+impl CliArgs {
+    /// Wraps an argument list (without the program name).
+    #[must_use]
+    pub fn new(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// The process's arguments, program name skipped.
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// Whether the boolean flag `name` (e.g. `--quick`) is present.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.raw.iter().any(|a| a == name)
+    }
+
+    /// The value of flag `name`, accepting both `--flag value` and
+    /// `--flag=value`.
+    ///
+    /// A missing value — `--flag` as the last argument, or directly followed
+    /// by another `--flag` — is reported on stderr and treated as absent
+    /// rather than silently consuming the next flag as a value.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<String> {
+        let prefix = format!("{name}=");
+        let mut args = self.raw.iter();
+        while let Some(arg) = args.next() {
+            if let Some(value) = arg.strip_prefix(&prefix) {
+                return Some(value.to_string());
+            }
+            if arg == name {
+                return match args.next() {
+                    Some(value) if !value.starts_with("--") => Some(value.clone()),
+                    _ => {
+                        eprintln!("# warning: {name} requires a value; flag ignored");
+                        None
+                    }
+                };
+            }
+        }
+        None
+    }
+
+    /// [`value`](Self::value) parsed as a `usize`; unparsable values are
+    /// reported on stderr and treated as absent.
+    #[must_use]
+    pub fn usize_value(&self, name: &str) -> Option<usize> {
+        let text = self.value(name)?;
+        match text.parse() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("# warning: {name} expects an unsigned integer, got '{text}'");
+                None
+            }
+        }
+    }
+}
+
+/// Builds the [`RunContext`] a `run` invocation describes.
+fn context_from_args(args: &CliArgs) -> RunContext {
+    let mut ctx = RunContext::new()
+        .quick(args.flag("--quick"))
+        .with_shards(args.usize_value("--shards").unwrap_or(0));
+    let csv = args.value("--csv");
+    if let Some(path) = &csv {
+        ctx = ctx.with_csv(path);
+    }
+    if let Some(path) = args.value("--json") {
+        ctx = ctx.with_json(path);
+    }
+    if let Some(path) = args.value("--checkpoint") {
+        ctx = ctx.with_checkpoint(path);
+    } else if let (Some(csv), false) = (&csv, args.flag("--no-resume")) {
+        ctx = ctx.with_checkpoint(format!("{csv}.journal"));
+    }
+    ctx
+}
+
+/// Runs `study` with the given arguments; returns a process exit code.
+fn run_study(study: &dyn Study, args: &CliArgs) -> i32 {
+    eprintln!("# {}: {}", study.artefact(), study.description());
+    crate::announce_pool();
+    let ctx = context_from_args(args);
+    match execute(study, &ctx) {
+        Ok(table) => {
+            print_result_table(&table);
+            study.print_extras(&table);
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {} failed: {e}", study.name());
+            1
+        }
+    }
+}
+
+fn unknown_study(name: &str, registry: &StudyRegistry) -> i32 {
+    eprintln!(
+        "error: unknown study '{name}'; available: {}",
+        registry.names().join(", ")
+    );
+    2
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: sfbench <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 list                     studies in the registry, one per line\n\
+         \x20 grid <study> [--quick]   sweep axes and job count of a study\n\
+         \x20 run <study> [options]    run a study\n\
+         \n\
+         run options:\n\
+         \x20 --quick                  reduced smoke scale\n\
+         \x20 --shards N               intra-simulation router shards (0 = auto)\n\
+         \x20 --csv PATH               write the result table as CSV\n\
+         \x20 --json PATH              write the result table as JSON\n\
+         \x20 --checkpoint PATH        journal completed jobs at PATH\n\
+         \x20 --no-resume              do not journal/resume alongside --csv\n\
+         \n\
+         With --csv, completed jobs are journalled to PATH.journal; rerunning\n\
+         the same command after an interruption resumes and produces a CSV\n\
+         byte-identical to an uninterrupted run."
+    );
+}
+
+/// Entry point shared by the `sfbench` binary (`args` = argv without the
+/// program name). Returns the process exit code.
+#[must_use]
+pub fn main(args: Vec<String>) -> i32 {
+    let registry = StudyRegistry::paper();
+    let mut args = args.into_iter();
+    match args.next().as_deref() {
+        Some("list") => {
+            for study in registry.iter() {
+                println!(
+                    "{:<10} {:<30} {}",
+                    study.name(),
+                    study.artefact(),
+                    study.description()
+                );
+            }
+            0
+        }
+        Some("grid") => {
+            let Some(name) = args.next() else {
+                eprintln!("error: 'grid' needs a study name");
+                return 2;
+            };
+            let Some(study) = registry.get(&name) else {
+                return unknown_study(&name, &registry);
+            };
+            let rest = CliArgs::new(args.collect());
+            let ctx = RunContext::new().quick(rest.flag("--quick"));
+            let grid = study.grid(&ctx);
+            for (axis, points) in &grid.axes {
+                println!("{axis}: {points}");
+            }
+            println!("jobs: {}", grid.jobs());
+            0
+        }
+        Some("run") => {
+            let Some(name) = args.next() else {
+                eprintln!("error: 'run' needs a study name (try 'sfbench list')");
+                return 2;
+            };
+            let Some(study) = registry.get(&name) else {
+                return unknown_study(&name, &registry);
+            };
+            run_study(study, &CliArgs::new(args.collect()))
+        }
+        None | Some("help" | "--help" | "-h") => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'");
+            print_usage();
+            2
+        }
+    }
+}
+
+/// Entry point for the legacy per-figure shim binaries: runs `study` with
+/// the process's own arguments, exactly like `sfbench run <study> <args>`.
+#[must_use]
+pub fn delegate(study: &str) -> i32 {
+    let registry = StudyRegistry::paper();
+    let Some(study) = registry.get(study) else {
+        return unknown_study(study, &registry);
+    };
+    run_study(study, &CliArgs::from_env())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> CliArgs {
+        CliArgs::new(list.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn flags_and_values_parse_in_both_forms() {
+        let a = args(&["--quick", "--csv", "out.csv", "--shards=2"]);
+        assert!(a.flag("--quick"));
+        assert!(!a.flag("--fast"));
+        assert_eq!(a.value("--csv").as_deref(), Some("out.csv"));
+        assert_eq!(a.usize_value("--shards"), Some(2));
+        assert_eq!(a.value("--json"), None);
+
+        let eq = args(&["--csv=x.csv"]);
+        assert_eq!(eq.value("--csv").as_deref(), Some("x.csv"));
+    }
+
+    #[test]
+    fn missing_or_bad_values_are_treated_as_absent() {
+        assert_eq!(args(&["--csv"]).value("--csv"), None);
+        assert_eq!(args(&["--csv", "--quick"]).value("--csv"), None);
+        assert_eq!(args(&["--shards", "many"]).usize_value("--shards"), None);
+        // The `=` form accepts values that start with dashes.
+        assert_eq!(
+            args(&["--csv=--odd-name"]).value("--csv").as_deref(),
+            Some("--odd-name")
+        );
+    }
+
+    #[test]
+    fn context_wires_checkpoint_next_to_the_csv() {
+        let ctx = context_from_args(&args(&["--quick", "--csv", "out.csv"]));
+        assert!(ctx.is_quick());
+        assert_eq!(
+            ctx.checkpoint_path().unwrap().to_str().unwrap(),
+            "out.csv.journal"
+        );
+
+        let none = context_from_args(&args(&["--quick", "--csv", "o.csv", "--no-resume"]));
+        assert!(none.checkpoint_path().is_none());
+
+        let explicit = context_from_args(&args(&["--checkpoint", "j.journal"]));
+        assert_eq!(
+            explicit.checkpoint_path().unwrap().to_str().unwrap(),
+            "j.journal"
+        );
+    }
+
+    #[test]
+    fn unknown_names_fail_with_usage_exit_codes() {
+        assert_eq!(main(vec!["run".into(), "fig99".into()]), 2);
+        assert_eq!(main(vec!["bogus".into()]), 2);
+        assert_eq!(main(vec!["list".into()]), 0);
+        assert_eq!(
+            main(vec!["grid".into(), "fig10".into(), "--quick".into()]),
+            0
+        );
+        assert_eq!(main(Vec::new()), 0);
+    }
+}

@@ -2,91 +2,43 @@
 //!
 //! Benchmark and experiment harnesses for the String Figure reproduction.
 //!
-//! The binaries in `src/bin/` regenerate the paper's tables and figures by
-//! calling [`stringfigure::experiments`] with the paper's parameters and
-//! printing plain-text tables (see `EXPERIMENTS.md` at the repository root
-//! for the index and for paper-versus-measured comparisons). The Criterion
-//! benches in `benches/` measure the cost of the core operations themselves
-//! (topology generation, routing decisions, simulator cycles,
-//! reconfiguration).
+//! The `sfbench` binary multiplexes every paper artefact through the
+//! [`stringfigure::study::StudyRegistry`] (`sfbench list`, `sfbench run
+//! fig10 --quick --csv out.csv`); see [`cli`]. The historical per-figure
+//! binaries in `src/bin/` remain as shims that delegate to the same
+//! registry, so existing invocations keep producing byte-identical
+//! artifacts. The Criterion benches in `benches/` measure the cost of the
+//! core operations themselves (topology generation, routing decisions,
+//! simulator cycles, reconfiguration).
 //!
-//! Shared table-printing helpers live here so every binary formats output the
-//! same way.
+//! Flag parsing lives in [`cli::CliArgs`] — the single code path behind the
+//! CLI and the legacy helpers kept here ([`quick_mode`], [`arg_value`],
+//! [`shard_override`]). Table rendering lives in `stringfigure::study` and
+//! is re-exported here for compatibility.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-/// Prints a Markdown-style table: a header row followed by data rows.
-///
-/// Column widths adapt to the widest cell so the output is readable both in a
-/// terminal and when pasted into `EXPERIMENTS.md`.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: Vec<String>| {
-        let padded: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(4)))
-            .collect();
-        println!("| {} |", padded.join(" | "));
-    };
-    line(headers.iter().map(|h| (*h).to_string()).collect());
-    let separator: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    line(separator);
-    for row in rows {
-        line(row.clone());
-    }
-}
+pub mod cli;
 
-/// Formats a float with three significant decimals for table cells.
-#[must_use]
-pub fn fmt_f(value: f64) -> String {
-    format!("{value:.3}")
-}
-
-/// Formats an optional percentage (used for saturation points).
-#[must_use]
-pub fn fmt_percent(value: Option<f64>) -> String {
-    match value {
-        Some(v) => format!("{v:.0}%"),
-        None => "saturated".to_string(),
-    }
-}
+pub use stringfigure::study::{fmt_f, fmt_percent, print_table};
 
 /// Parses a `--quick` flag from the command line arguments, letting every
 /// harness run in a reduced-scale mode for smoke testing.
 #[must_use]
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
+    cli::CliArgs::from_env().flag("--quick")
 }
 
-/// The value following `flag` on the command line, if present.
+/// The value of `flag` on the command line, accepting both `--flag value`
+/// and `--flag=value`.
 ///
 /// A missing value — `--csv` as the last argument, or directly followed by
 /// another `--flag` — is reported on stderr and treated as absent rather
 /// than silently consuming the next flag as a file name.
 #[must_use]
 pub fn arg_value(flag: &str) -> Option<String> {
-    let mut args = std::env::args();
-    while let Some(arg) = args.next() {
-        if arg == flag {
-            return match args.next() {
-                Some(value) if !value.starts_with("--") => Some(value),
-                _ => {
-                    eprintln!("# warning: {flag} requires a value; no artifact written");
-                    None
-                }
-            };
-        }
-    }
-    None
+    cli::CliArgs::from_env().value(flag)
 }
 
 /// Prints how the two parallelism layers will execute this run: sweep-level
@@ -124,8 +76,8 @@ pub fn announce_pool() {
 /// command line (`0` = not given, let the automatic policy decide).
 #[must_use]
 pub fn shard_override() -> usize {
-    arg_value("--shards")
-        .and_then(|v| v.parse::<usize>().ok())
+    cli::CliArgs::from_env()
+        .usize_value("--shards")
         .unwrap_or(0)
 }
 

@@ -73,6 +73,23 @@ impl TopologyKind {
         }
     }
 
+    /// The design whose [`name`](Self::name) is `name`, if any — the inverse
+    /// of the table rendering, used when restoring checkpointed rows.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        [
+            Self::DistributedMesh,
+            Self::OptimizedMesh,
+            Self::FlattenedButterfly,
+            Self::AdaptedFlattenedButterfly,
+            Self::SpaceShuffle,
+            Self::StringFigure,
+            Self::Jellyfish,
+        ]
+        .into_iter()
+        .find(|k| k.name() == name)
+    }
+
     /// Whether the design needs high-radix routers whose port count grows
     /// with network scale (Table II).
     #[must_use]

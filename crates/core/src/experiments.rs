@@ -1,10 +1,13 @@
 //! Experiment drivers that regenerate the paper's tables and figures.
 //!
 //! Each function corresponds to one evaluation artefact and returns plain
-//! serialisable rows; the `sf-bench` binaries call these with the paper's
-//! parameters and print the resulting tables, while the integration tests run
-//! them at reduced scale to check the qualitative trends (who wins, and by
-//! roughly how much).
+//! serialisable rows. The canonical entry points are the `*_with_ctx`
+//! variants running inside a [`crate::study::RunContext`] (worker pool,
+//! topology cache, checkpoint/resume) — the registered [`crate::study`]
+//! studies and the `sfbench` CLI call those with the paper's parameters —
+//! while the historical `*_study` / `*_with_pool` signatures remain as thin
+//! wrappers for the integration tests, which run them at reduced scale to
+//! check the qualitative trends (who wins, and by roughly how much).
 //!
 //! | function | paper artefact |
 //! |----------|----------------|
@@ -20,14 +23,15 @@
 use crate::comparison::{NetworkInstance, TopologyKind};
 use crate::network::StringFigureNetwork;
 use crate::power::PowerManager;
+use crate::study::RunContext;
 use serde::{Deserialize, Serialize};
 use sf_harness::pool::PoolConfig;
-use sf_harness::sweep::{cross2, Sweep, SweepError, SweepReport};
+use sf_harness::sweep::cross2;
 use sf_harness::table::{Record, Value};
 use sf_harness::BuildCache;
 use sf_netsim::SimulationStats;
 use sf_topology::analysis;
-use sf_types::{NodeId, SfError, SfResult, SimulationConfig, SystemConfig};
+use sf_types::{NodeId, SfResult, SimulationConfig, SystemConfig};
 use sf_workloads::{
     AddressMapper, ApplicationModel, CacheHierarchy, PatternTraffic, SyntheticPattern,
     WorkloadTraffic,
@@ -45,6 +49,13 @@ use std::sync::{Arc, OnceLock};
 #[must_use]
 pub fn default_pool() -> PoolConfig {
     PoolConfig::auto()
+}
+
+/// A context wrapping an explicit worker pool — the adapter that collapses
+/// the historical `*_study` / `*_with_pool` entry points onto the single
+/// [`RunContext`] code path.
+fn pool_ctx(pool: &PoolConfig) -> RunContext {
+    RunContext::new().with_pool(*pool)
 }
 
 /// Process-wide cache of generated [`NetworkInstance`]s keyed by
@@ -71,28 +82,6 @@ pub fn cached_instance(
     topology_cache().get_or_build((kind, nodes, seed), || {
         NetworkInstance::build(kind, nodes, seed)
     })
-}
-
-/// Unwraps a sweep report into rows, translating a panic in any job into an
-/// [`SfError::Simulation`] so callers keep seeing the crate's error type.
-///
-/// The lowest-indexed failure wins (matching what the old serial loops
-/// surfaced first), and panics are tagged with the failing job's sweep index
-/// so a bad point in a hundreds-of-jobs sweep can be re-run in isolation.
-fn collect_rows<R>(report: SweepReport<R, SfError>) -> SfResult<Vec<R>> {
-    let mut rows = Vec::with_capacity(report.outcomes.len());
-    for outcome in report.outcomes {
-        match outcome.result {
-            Ok(row) => rows.push(row),
-            Err(SweepError::Job(e)) => return Err(e),
-            Err(SweepError::Panic(message)) => {
-                return Err(SfError::Simulation {
-                    reason: format!("experiment job {} panicked: {message}", outcome.index),
-                })
-            }
-        }
-    }
-    Ok(rows)
 }
 
 /// Controls how long the cycle-level simulations of an experiment run.
@@ -178,7 +167,7 @@ pub struct SurgRow {
 ///
 /// Propagates topology construction errors.
 pub fn surg_path_length_study(sizes: &[usize], seeds: u64) -> SfResult<Vec<SurgRow>> {
-    surg_path_length_study_with_pool(&default_pool(), sizes, seeds)
+    surg_path_length_study_with_ctx(&RunContext::new(), sizes, seeds)
 }
 
 /// [`surg_path_length_study`] on an explicit worker pool.
@@ -191,6 +180,20 @@ pub fn surg_path_length_study_with_pool(
     sizes: &[usize],
     seeds: u64,
 ) -> SfResult<Vec<SurgRow>> {
+    surg_path_length_study_with_ctx(&pool_ctx(pool), sizes, seeds)
+}
+
+/// [`surg_path_length_study`] inside an explicit [`RunContext`] — the single
+/// code path behind both wrappers (and the `fig05` study).
+///
+/// # Errors
+///
+/// Propagates topology construction errors.
+pub fn surg_path_length_study_with_ctx(
+    ctx: &RunContext,
+    sizes: &[usize],
+    seeds: u64,
+) -> SfResult<Vec<SurgRow>> {
     const KINDS: [TopologyKind; 3] = [
         TopologyKind::Jellyfish,
         TopologyKind::SpaceShuffle,
@@ -200,10 +203,10 @@ pub fn surg_path_length_study_with_pool(
     // row per size happens serially below, in enumeration order, so the
     // float accumulation order matches the old nested loops exactly.
     let seed_list: Vec<u64> = (0..seeds.max(1)).collect();
-    let sweep = Sweep::new(cross2(sizes, &cross2(&seed_list, &KINDS)));
-    let lengths = collect_rows(sweep.run(pool, |_, &(nodes, (seed, kind))| {
-        Ok(cached_instance(kind, nodes, seed + 1)?.average_shortest_path())
-    }))?;
+    let points = cross2(sizes, &cross2(&seed_list, &KINDS));
+    let lengths = ctx.run_jobs(points, |_, &(nodes, (seed, kind))| {
+        Ok(ctx.instance(kind, nodes, seed + 1)?.average_shortest_path())
+    })?;
 
     let denom = seeds.max(1) as f64;
     let per_size = seed_list.len() * KINDS.len();
@@ -258,7 +261,7 @@ pub fn hop_count_study(
     samples: usize,
     seed: u64,
 ) -> SfResult<Vec<HopCountRow>> {
-    hop_count_study_with_pool(&default_pool(), kinds, sizes, samples, seed)
+    hop_count_study_with_ctx(&RunContext::new(), kinds, sizes, samples, seed)
 }
 
 /// [`hop_count_study`] on an explicit worker pool.
@@ -273,9 +276,24 @@ pub fn hop_count_study_with_pool(
     samples: usize,
     seed: u64,
 ) -> SfResult<Vec<HopCountRow>> {
-    let sweep = Sweep::new(cross2(sizes, kinds));
-    collect_rows(sweep.run(pool, |_, &(nodes, kind)| {
-        let instance = cached_instance(kind, nodes, seed)?;
+    hop_count_study_with_ctx(&pool_ctx(pool), kinds, sizes, samples, seed)
+}
+
+/// [`hop_count_study`] inside an explicit [`RunContext`] — the single code
+/// path behind both wrappers (and the `fig09a` study).
+///
+/// # Errors
+///
+/// Propagates topology construction and routing errors.
+pub fn hop_count_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    samples: usize,
+    seed: u64,
+) -> SfResult<Vec<HopCountRow>> {
+    ctx.run_jobs(cross2(sizes, kinds), |_, &(nodes, kind)| {
+        let instance = ctx.instance(kind, nodes, seed)?;
         Ok(HopCountRow {
             kind,
             nodes,
@@ -283,7 +301,7 @@ pub fn hop_count_study_with_pool(
             average_routed_hops: instance.average_routed_hops(samples)?,
             router_ports: instance.router_ports(),
         })
-    }))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -321,17 +339,23 @@ pub fn saturation_study(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<SaturationRow>> {
-    saturation_study_with_pool(&default_pool(), kinds, nodes, pattern, rates, scale, seed)
+    saturation_study_with_ctx(
+        &RunContext::new(),
+        kinds,
+        nodes,
+        pattern,
+        rates,
+        scale,
+        seed,
+    )
 }
 
 /// [`saturation_study`] on an explicit worker pool.
 ///
-/// One job per design; the injection-rate ladder inside a job stays serial
-/// because each rung's early exit depends on the previous one.
-///
 /// # Errors
 ///
 /// Propagates construction and simulation errors.
+#[allow(clippy::too_many_arguments)]
 pub fn saturation_study_with_pool(
     pool: &PoolConfig,
     kinds: &[TopologyKind],
@@ -341,9 +365,30 @@ pub fn saturation_study_with_pool(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<SaturationRow>> {
-    let sweep = Sweep::new(kinds.to_vec());
-    collect_rows(sweep.run(pool, |_, &kind| {
-        let instance = cached_instance(kind, nodes, seed)?;
+    saturation_study_with_ctx(&pool_ctx(pool), kinds, nodes, pattern, rates, scale, seed)
+}
+
+/// [`saturation_study`] inside an explicit [`RunContext`] — the single code
+/// path behind both wrappers (and the `fig10` study).
+///
+/// One job per design; the injection-rate ladder inside a job stays serial
+/// because each rung's early exit depends on the previous one.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn saturation_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    nodes: usize,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<SaturationRow>> {
+    ctx.run_jobs(kinds.to_vec(), |_, &kind| {
+        let instance = ctx.instance(kind, nodes, seed)?;
         let mut best: Option<f64> = None;
         let mut base_latency: Option<f64> = None;
         for &rate in rates {
@@ -362,7 +407,7 @@ pub fn saturation_study_with_pool(
             pattern,
             saturation_percent: best.map(|r| r * 100.0),
         })
-    }))
+    })
 }
 
 /// Runs one synthetic-pattern simulation on a pre-built instance.
@@ -413,15 +458,15 @@ pub fn latency_curve(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<LatencyPoint>> {
-    latency_curve_with_pool(&default_pool(), kind, nodes, pattern, rates, scale, seed)
+    latency_curve_with_ctx(&RunContext::new(), kind, nodes, pattern, rates, scale, seed)
 }
 
-/// [`latency_curve`] on an explicit worker pool: one job per injection rate,
-/// all sharing the cached network instance.
+/// [`latency_curve`] on an explicit worker pool.
 ///
 /// # Errors
 ///
 /// Propagates construction and simulation errors.
+#[allow(clippy::too_many_arguments)]
 pub fn latency_curve_with_pool(
     pool: &PoolConfig,
     kind: TopologyKind,
@@ -431,9 +476,28 @@ pub fn latency_curve_with_pool(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<LatencyPoint>> {
-    let instance = cached_instance(kind, nodes, seed)?;
-    let sweep = Sweep::new(rates.to_vec());
-    collect_rows(sweep.run(pool, |_, &rate| {
+    latency_curve_with_ctx(&pool_ctx(pool), kind, nodes, pattern, rates, scale, seed)
+}
+
+/// [`latency_curve`] inside an explicit [`RunContext`] — the single code
+/// path behind both wrappers (and the `fig11` study): one job per injection
+/// rate, all sharing the cached network instance.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn latency_curve_with_ctx(
+    ctx: &RunContext,
+    kind: TopologyKind,
+    nodes: usize,
+    pattern: SyntheticPattern,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<LatencyPoint>> {
+    let instance = ctx.instance(kind, nodes, seed)?;
+    ctx.run_jobs(rates.to_vec(), |_, &rate| {
         let stats = run_pattern_on(&instance, pattern, rate, scale, seed)?;
         let measured = scale.max_cycles - scale.warmup_cycles;
         Ok(LatencyPoint {
@@ -442,7 +506,7 @@ pub fn latency_curve_with_pool(
             accepted_throughput: stats.accepted_throughput(measured),
             saturated: stats.is_saturated(),
         })
-    }))
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -482,8 +546,8 @@ pub fn workload_study(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<WorkloadRow>> {
-    workload_study_with_pool(
-        &default_pool(),
+    workload_study_with_ctx(
+        &RunContext::new(),
         kinds,
         workloads,
         nodes,
@@ -493,12 +557,12 @@ pub fn workload_study(
     )
 }
 
-/// [`workload_study`] on an explicit worker pool: one job per
-/// (design, application) pair.
+/// [`workload_study`] on an explicit worker pool.
 ///
 /// # Errors
 ///
 /// Propagates construction, workload, and simulation errors.
+#[allow(clippy::too_many_arguments)]
 pub fn workload_study_with_pool(
     pool: &PoolConfig,
     kinds: &[TopologyKind],
@@ -508,10 +572,37 @@ pub fn workload_study_with_pool(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<WorkloadRow>> {
+    workload_study_with_ctx(
+        &pool_ctx(pool),
+        kinds,
+        workloads,
+        nodes,
+        socket_count,
+        scale,
+        seed,
+    )
+}
+
+/// [`workload_study`] inside an explicit [`RunContext`] — the single code
+/// path behind both wrappers (and the `fig12` study): one job per
+/// (design, application) pair.
+///
+/// # Errors
+///
+/// Propagates construction, workload, and simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn workload_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    workloads: &[ApplicationModel],
+    nodes: usize,
+    socket_count: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<WorkloadRow>> {
     let injectors = socket_nodes(nodes, socket_count);
-    let sweep = Sweep::new(cross2(kinds, workloads));
-    collect_rows(sweep.run(pool, |_, &(kind, workload)| {
-        let instance = cached_instance(kind, nodes, seed)?;
+    ctx.run_jobs(cross2(kinds, workloads), |_, &(kind, workload)| {
+        let instance = ctx.instance(kind, nodes, seed)?;
         let stats = run_workload_on(&instance, workload, &injectors, scale, seed)?;
         let measured = scale.max_cycles - scale.warmup_cycles;
         let completed = stats.completed_requests.max(1);
@@ -523,7 +614,7 @@ pub fn workload_study_with_pool(
             energy_per_request_pj: stats.total_energy_pj() / completed as f64,
             total_energy_pj: stats.total_energy_pj(),
         })
-    }))
+    })
 }
 
 /// Runs one application workload on a pre-built instance.
@@ -593,8 +684,8 @@ pub fn power_gating_study(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<PowerGateRow>> {
-    power_gating_study_with_pool(
-        &default_pool(),
+    power_gating_study_with_ctx(
+        &RunContext::new(),
         nodes,
         fractions,
         workload,
@@ -606,14 +697,10 @@ pub fn power_gating_study(
 
 /// [`power_gating_study`] on an explicit worker pool.
 ///
-/// Every fraction is an independent job (each builds and gates its own
-/// network, so nothing is shared); normalisation against the first
-/// fraction's EDP happens serially once all jobs are in, which keeps the
-/// output identical to the old strictly-serial loop.
-///
 /// # Errors
 ///
 /// Propagates construction, reconfiguration, and simulation errors.
+#[allow(clippy::too_many_arguments)]
 pub fn power_gating_study_with_pool(
     pool: &PoolConfig,
     nodes: usize,
@@ -623,8 +710,39 @@ pub fn power_gating_study_with_pool(
     scale: ExperimentScale,
     seed: u64,
 ) -> SfResult<Vec<PowerGateRow>> {
-    let sweep = Sweep::new(fractions.to_vec());
-    let mut rows = collect_rows(sweep.run(pool, |_, &fraction| {
+    power_gating_study_with_ctx(
+        &pool_ctx(pool),
+        nodes,
+        fractions,
+        workload,
+        socket_count,
+        scale,
+        seed,
+    )
+}
+
+/// [`power_gating_study`] inside an explicit [`RunContext`] — the single
+/// code path behind both wrappers (and the `fig09b` study).
+///
+/// Every fraction is an independent job (each builds and gates its own
+/// network, so nothing is shared); normalisation against the first
+/// fraction's EDP happens serially once all jobs are in, which keeps the
+/// output identical to the old strictly-serial loop.
+///
+/// # Errors
+///
+/// Propagates construction, reconfiguration, and simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn power_gating_study_with_ctx(
+    ctx: &RunContext,
+    nodes: usize,
+    fractions: &[f64],
+    workload: ApplicationModel,
+    socket_count: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<PowerGateRow>> {
+    let mut rows = ctx.run_jobs(fractions.to_vec(), |_, &fraction| {
         let mut network = StringFigureNetwork::builder(nodes)
             .seed(seed)
             .simulation(scale.simulation_config())
@@ -663,7 +781,7 @@ pub fn power_gating_study_with_pool(
             normalized_edp: 0.0,
             average_round_trip_cycles: stats.average_round_trip_cycles(),
         })
-    }))?;
+    })?;
     let base = rows
         .first()
         .map_or(1.0, |r| r.energy_delay_product.max(f64::MIN_POSITIVE));
@@ -740,12 +858,10 @@ pub fn bisection_study(
     cuts: usize,
     topologies: u64,
 ) -> SfResult<Vec<BisectionRow>> {
-    bisection_study_with_pool(&default_pool(), kinds, nodes, cuts, topologies)
+    bisection_study_with_ctx(&RunContext::new(), kinds, nodes, cuts, topologies)
 }
 
-/// [`bisection_study`] on an explicit worker pool: one job per
-/// (design, generated topology), averaged per design afterwards in
-/// enumeration order.
+/// [`bisection_study`] on an explicit worker pool.
 ///
 /// # Errors
 ///
@@ -757,12 +873,29 @@ pub fn bisection_study_with_pool(
     cuts: usize,
     topologies: u64,
 ) -> SfResult<Vec<BisectionRow>> {
+    bisection_study_with_ctx(&pool_ctx(pool), kinds, nodes, cuts, topologies)
+}
+
+/// [`bisection_study`] inside an explicit [`RunContext`] — the single code
+/// path behind both wrappers (and the `bisection` study): one job per
+/// (design, generated topology), averaged per design afterwards in
+/// enumeration order.
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn bisection_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    nodes: usize,
+    cuts: usize,
+    topologies: u64,
+) -> SfResult<Vec<BisectionRow>> {
     let seed_list: Vec<u64> = (0..topologies.max(1)).collect();
-    let sweep = Sweep::new(cross2(kinds, &seed_list));
-    let samples = collect_rows(sweep.run(pool, |_, &(kind, seed)| {
-        let instance = cached_instance(kind, nodes, seed + 1)?;
+    let samples = ctx.run_jobs(cross2(kinds, &seed_list), |_, &(kind, seed)| {
+        let instance = ctx.instance(kind, nodes, seed + 1)?;
         Ok(instance.bisection_bandwidth(cuts, seed + 100))
-    }))?;
+    })?;
 
     let denom = topologies.max(1);
     let per_kind = seed_list.len();
@@ -812,7 +945,7 @@ pub fn configuration_table(
     sizes: &[usize],
     seed: u64,
 ) -> SfResult<Vec<ConfigurationRow>> {
-    configuration_table_with_pool(&default_pool(), kinds, sizes, seed)
+    configuration_table_with_ctx(&RunContext::new(), kinds, sizes, seed)
 }
 
 /// [`configuration_table`] on an explicit worker pool.
@@ -826,9 +959,23 @@ pub fn configuration_table_with_pool(
     sizes: &[usize],
     seed: u64,
 ) -> SfResult<Vec<ConfigurationRow>> {
-    let sweep = Sweep::new(cross2(sizes, kinds));
-    collect_rows(sweep.run(pool, |_, &(nodes, kind)| {
-        let instance = cached_instance(kind, nodes, seed)?;
+    configuration_table_with_ctx(&pool_ctx(pool), kinds, sizes, seed)
+}
+
+/// [`configuration_table`] inside an explicit [`RunContext`] — the single
+/// code path behind both wrappers (and the `fig08` study).
+///
+/// # Errors
+///
+/// Propagates construction errors.
+pub fn configuration_table_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    seed: u64,
+) -> SfResult<Vec<ConfigurationRow>> {
+    ctx.run_jobs(cross2(sizes, kinds), |_, &(nodes, kind)| {
+        let instance = ctx.instance(kind, nodes, seed)?;
         Ok(ConfigurationRow {
             kind,
             nodes,
@@ -837,7 +984,7 @@ pub fn configuration_table_with_pool(
             requires_high_radix: kind.requires_high_radix(),
             supports_reconfiguration: kind.supports_reconfiguration(),
         })
-    }))
+    })
 }
 
 /// Average-path-length summary of a partially gated String Figure network,

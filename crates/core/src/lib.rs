@@ -21,7 +21,11 @@
 //!   baseline design the paper compares against (DM, ODM, FB, AFB, S2-ideal,
 //!   Jellyfish).
 //! * [`experiments`] — drivers that regenerate each table and figure of the
-//!   paper's evaluation; the `sf-bench` binaries print them.
+//!   paper's evaluation.
+//! * [`study`] — the unified experiment API: the [`Study`] trait, the
+//!   builder-style [`RunContext`] (pool, cache, scale, emitters,
+//!   checkpoint/resume), and the [`StudyRegistry`] of all eight paper
+//!   artefacts that the `sfbench` CLI multiplexes over.
 //!
 //! ## Quick start
 //!
@@ -55,10 +59,12 @@ pub mod comparison;
 pub mod experiments;
 pub mod network;
 pub mod power;
+pub mod study;
 
 pub use comparison::{NetworkInstance, TopologyKind};
 pub use network::{StringFigureBuilder, StringFigureNetwork};
 pub use power::{PowerManager, PowerReport, ReconfigurationEvent};
+pub use study::{RunContext, Study, StudyGrid, StudyRegistry};
 
 // Re-export the underlying crates so downstream users need a single
 // dependency.

@@ -24,6 +24,9 @@
 //!   at the same (kind, size, seed) reuse the generated topology instead of
 //!   regenerating it per job. Eviction is cost-aware LRU: cheap-to-rebuild
 //!   entries go first, so paper-scale topologies stay resident.
+//! * [`journal`] — an append-only checkpoint journal of completed job
+//!   results, so interrupted mega-sweeps resume with bit-identical final
+//!   output instead of starting over.
 //! * [`budget`] — the process-wide core budget shared between sweep-level
 //!   workers and the intra-job simulation shards of `sf-simcore`, so the two
 //!   parallelism layers never oversubscribe the machine together.
@@ -49,12 +52,14 @@
 
 pub mod budget;
 pub mod cache;
+pub mod journal;
 pub mod pool;
 pub mod sweep;
 pub mod table;
 
 pub use budget::CoreBudget;
 pub use cache::BuildCache;
+pub use journal::Journal;
 pub use pool::{JobError, PoolConfig};
 pub use sweep::{derive_seed, JobCtx, JobOutcome, LazySweep, Sweep, SweepReport};
 pub use table::{Record, Table, Value};

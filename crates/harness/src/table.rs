@@ -321,6 +321,40 @@ impl Table {
 
 // -- CSV helpers -----------------------------------------------------------
 
+/// Encodes one row of cells as a single CSV record (no trailing newline),
+/// using the same quoting rules as [`Table::to_csv`] — so
+/// [`decode_csv_line`] recovers the exact typed cells.
+#[must_use]
+pub fn encode_csv_line(cells: &[Value]) -> String {
+    let rendered: Vec<String> = cells.iter().map(csv_cell).collect();
+    rendered.join(",")
+}
+
+/// Decodes one CSV record produced by [`encode_csv_line`] back into typed
+/// cells (quoted cells stay strings, everything else is re-typed by the same
+/// inference the table parser uses).
+///
+/// # Errors
+///
+/// Fails on malformed quoting or an empty line.
+pub fn decode_csv_line(line: &str) -> Result<Vec<Value>, ParseError> {
+    let mut records = split_csv_records(&format!("{line}\n"))?;
+    if records.len() != 1 {
+        return parse_err("expected exactly one CSV record");
+    }
+    Ok(records
+        .remove(0)
+        .into_iter()
+        .map(|c| {
+            if c.quoted {
+                Value::Str(c.text)
+            } else {
+                infer_value(&c.text)
+            }
+        })
+        .collect())
+}
+
 fn csv_escape(cell: &str) -> String {
     if cell.contains(',') || cell.contains('"') || cell.contains('\n') || cell.contains('\r') {
         format!("\"{}\"", cell.replace('"', "\"\""))

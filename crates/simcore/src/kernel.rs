@@ -87,6 +87,13 @@ impl Ord for PendingReply {
 
 /// An order-sensitive side effect recorded by a router during the parallel
 /// routing phase and replayed by the serial commit in router-id order.
+///
+/// Only effects that genuinely need the serial order live here: float
+/// accumulation (not associative), reply packet-id assignment, and the
+/// in-flight hand-off. Commutative integer counters (delivered packets,
+/// latency sums, blocked forwards, …) are folded shard-locally into
+/// [`LocalStats`] instead and summed once at the end of the run, which keeps
+/// the per-cycle commit traffic to the packets that actually moved.
 #[derive(Debug)]
 enum RouterEvent {
     /// A packet committed to a link: becomes an in-flight entry plus (when
@@ -98,11 +105,32 @@ enum RouterEvent {
         vc: usize,
         packet: Packet,
     },
-    /// A forwarding attempt found no free output or credit.
-    Blocked,
-    /// A packet reached its destination; the commit runs delivery statistics,
-    /// DRAM service, and reply creation.
-    Eject(Packet),
+    /// A read/write request was serviced by this node's DRAM model during
+    /// the routing phase (the model is router-local, so the access itself
+    /// needs no serialisation); the commit accumulates the float DRAM energy
+    /// and assigns the reply its packet id in serial order.
+    Serviced {
+        /// DRAM service latency in cycles, from the router-local model.
+        service: u64,
+        /// The serviced request, source of the reply's routing fields.
+        request: Packet,
+    },
+}
+
+/// Commutative integer statistics a router accumulates locally during the
+/// parallel routing phase. Integer addition (and `max`) is associative and
+/// commutative, so folding per router and summing in id order at the end of
+/// the run is bit-identical to the old per-event serial accumulation — only
+/// the floats must still replay through the commit.
+#[derive(Debug, Default, Clone)]
+struct LocalStats {
+    blocked_forwards: u64,
+    delivered: u64,
+    total_latency_cycles: u64,
+    max_latency_cycles: u64,
+    total_hops: u64,
+    completed_requests: u64,
+    total_round_trip_cycles: u64,
 }
 
 /// The mutable state of one router, owned by exactly one shard.
@@ -116,6 +144,8 @@ struct RouterState {
     memory: MemoryNodeModel,
     /// This cycle's deferred side effects, drained by the commit.
     events: Vec<RouterEvent>,
+    /// Commutative integer counters, folded locally and summed at run end.
+    local: LocalStats,
 }
 
 /// One shard's routers, locked as a unit: by its worker during the routing
@@ -317,6 +347,7 @@ impl ShardedSimulator {
                             injection: VecDeque::new(),
                             memory: MemoryNodeModel::new(NodeId::new(node), &system),
                             events: Vec::new(),
+                            local: LocalStats::default(),
                         })
                         .collect(),
                 })
@@ -523,8 +554,30 @@ fn run_loop(
     while serial.cycle < drain_deadline && outstanding(shared, serial) > 0 {
         step(shared, serial, &mut NoTraffic, sync)?;
     }
+    merge_local_stats(shared, serial);
     serial.stats.cycles = serial.cycle;
     Ok(serial.stats.clone())
+}
+
+/// Folds every router's commutative integer counters into the final
+/// statistics. Iterating in id order is cosmetic — integer sums and `max`
+/// are order-independent, which is exactly why these counters never needed
+/// the serial per-cycle replay. Counters are drained so a repeated run
+/// cannot double-count.
+fn merge_local_stats(shared: &Shared, serial: &mut SerialState) {
+    let mut guards = shared.lock_all();
+    for m in 0..shared.num_nodes {
+        let (shard, slot) = shared.plan.locate(m);
+        let local = std::mem::take(&mut guards[shard].routers[slot].local);
+        let stats = &mut serial.stats;
+        stats.blocked_forwards += local.blocked_forwards;
+        stats.delivered += local.delivered;
+        stats.total_latency_cycles += local.total_latency_cycles;
+        stats.max_latency_cycles = stats.max_latency_cycles.max(local.max_latency_cycles);
+        stats.total_hops += local.total_hops;
+        stats.completed_requests += local.completed_requests;
+        stats.total_round_trip_cycles += local.total_round_trip_cycles;
+    }
 }
 
 /// Network-queue occupancy as (in-network queued, injection backlog).
@@ -795,7 +848,7 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
                     .pop_front()
                     .expect("head packet present");
                 shared.occ(node, link, vc).fetch_sub(1, Ordering::Relaxed);
-                router.events.push(RouterEvent::Eject(packet));
+                eject_in_phase(shared, router, packet, cycle);
                 ejected = true;
             }
             continue;
@@ -810,8 +863,8 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
         )? {
             router.queues[link][vc].pop_front();
             shared.occ(node, link, vc).fetch_sub(1, Ordering::Relaxed);
-        } else {
-            router.events.push(RouterEvent::Blocked);
+        } else if cycle >= shared.config.warmup_cycles {
+            router.local.blocked_forwards += 1;
         }
     }
 
@@ -821,7 +874,7 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
             // A reply addressed to the local node (possible when a processor
             // and memory share a node): deliver directly.
             let packet = router.injection.pop_front().expect("head");
-            router.events.push(RouterEvent::Eject(packet));
+            eject_in_phase(shared, router, packet, cycle);
         } else if try_forward(
             shared,
             &mut router.events,
@@ -831,11 +884,50 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
             cycle,
         )? {
             router.injection.pop_front();
-        } else {
-            router.events.push(RouterEvent::Blocked);
+        } else if cycle >= shared.config.warmup_cycles {
+            router.local.blocked_forwards += 1;
         }
     }
     Ok(())
+}
+
+/// Delivery at the destination during the parallel routing phase: folds the
+/// commutative integer statistics into the router's local counters and runs
+/// the (router-local) DRAM access for request packets. The float DRAM energy
+/// and the reply's packet-id assignment still need the serial order, so they
+/// travel to the commit as a [`RouterEvent::Serviced`].
+fn eject_in_phase(shared: &Shared, router: &mut RouterState, packet: Packet, cycle: u64) {
+    let measuring = cycle >= shared.config.warmup_cycles;
+    fold_delivery(&mut router.local, &packet, cycle, measuring);
+    if matches!(
+        packet.kind,
+        PacketKind::ReadRequest | PacketKind::WriteRequest
+    ) {
+        let address = packet.id.wrapping_mul(64) % (1 << 33);
+        let service = router
+            .memory
+            .access(address, packet.kind == PacketKind::WriteRequest);
+        router.events.push(RouterEvent::Serviced {
+            service,
+            request: packet,
+        });
+    }
+}
+
+/// Folds one delivered packet's integer statistics into `local`.
+fn fold_delivery(local: &mut LocalStats, packet: &Packet, cycle: u64, measuring: bool) {
+    if !measuring {
+        return;
+    }
+    let latency = cycle.saturating_sub(packet.injected_at);
+    local.delivered += 1;
+    local.total_latency_cycles += latency;
+    local.max_latency_cycles = local.max_latency_cycles.max(latency);
+    local.total_hops += u64::from(packet.hops);
+    if matches!(packet.kind, PacketKind::ReadReply | PacketKind::WriteAck) {
+        local.completed_requests += 1;
+        local.total_round_trip_cycles += cycle.saturating_sub(packet.request_issued_at);
+    }
 }
 
 /// Attempts to forward `packet` out of `node`; returns `true` if the packet
@@ -901,8 +993,9 @@ fn try_forward(
 }
 
 /// Replays every router's deferred events in router-id order, reproducing the
-/// serial loop's exact statistics/energy accumulation order, in-flight list
-/// order, and reply-id assignment order.
+/// serial loop's exact float-accumulation order, in-flight list order, and
+/// reply-id assignment order. Integer statistics never pass through here —
+/// they are folded shard-locally (see [`LocalStats`]) and merged at run end.
 fn commit_phase(
     shared: &Shared,
     serial: &mut SerialState,
@@ -940,13 +1033,8 @@ fn commit_phase(
                         packet,
                     });
                 }
-                RouterEvent::Blocked => {
-                    if measuring {
-                        serial.stats.blocked_forwards += 1;
-                    }
-                }
-                RouterEvent::Eject(packet) => {
-                    apply_eject(shared, serial, router, packet, cycle, measuring);
+                RouterEvent::Serviced { service, request } => {
+                    commit_serviced(shared, serial, service, request, cycle, measuring);
                 }
             }
         }
@@ -956,8 +1044,48 @@ fn commit_phase(
     }
 }
 
-/// Delivery at the destination: statistics, DRAM service, reply scheduling.
-/// `router` must be the state of `packet.destination`.
+/// The serial half of a DRAM access: float energy accumulation and the
+/// reply's packet-id assignment, in the exact order the reference serial
+/// simulator performed them.
+fn commit_serviced(
+    shared: &Shared,
+    serial: &mut SerialState,
+    service: u64,
+    request: Packet,
+    cycle: u64,
+    measuring: bool,
+) {
+    if measuring {
+        serial.stats.dram_energy_pj += shared
+            .system
+            .energy
+            .dram_energy_pj(shared.system.cacheline_bytes as u64 * 8);
+    }
+    if let Some(reply_kind) = request.kind.reply_kind() {
+        let reply = Packet {
+            id: serial.next_packet_id,
+            source: request.destination,
+            destination: request.source,
+            kind: reply_kind,
+            injected_at: cycle + service,
+            request_issued_at: request.request_issued_at,
+            hops: 0,
+            virtual_channel: VirtualChannelId::UP,
+        };
+        serial.next_packet_id += 1;
+        serial.pending_replies.push(PendingReply {
+            ready_cycle: cycle + service,
+            node: request.destination.index(),
+            packet: reply,
+        });
+    }
+}
+
+/// Delivery of a packet that never enters the network (source == destination,
+/// handled inline by the coordinator during the injection phase): integer
+/// statistics fold into the router's local counters like any other delivery,
+/// while the DRAM energy and reply id are applied immediately — the same
+/// point in the serial order the reference simulator used.
 fn apply_eject(
     shared: &Shared,
     serial: &mut SerialState,
@@ -966,54 +1094,16 @@ fn apply_eject(
     cycle: u64,
     measuring: bool,
 ) {
-    let node = packet.destination.index();
-    let latency = cycle.saturating_sub(packet.injected_at);
-    if measuring {
-        serial.stats.delivered += 1;
-        serial.stats.total_latency_cycles += latency;
-        serial.stats.max_latency_cycles = serial.stats.max_latency_cycles.max(latency);
-        serial.stats.total_hops += u64::from(packet.hops);
-    }
-    match packet.kind {
-        PacketKind::ReadReply | PacketKind::WriteAck => {
-            if measuring {
-                serial.stats.completed_requests += 1;
-                serial.stats.total_round_trip_cycles +=
-                    cycle.saturating_sub(packet.request_issued_at);
-            }
-        }
-        PacketKind::ReadRequest | PacketKind::WriteRequest => {
-            // Service the DRAM access and schedule the reply.
-            let address = packet.id.wrapping_mul(64) % (1 << 33);
-            let service = router
-                .memory
-                .access(address, packet.kind == PacketKind::WriteRequest);
-            if measuring {
-                serial.stats.dram_energy_pj += shared
-                    .system
-                    .energy
-                    .dram_energy_pj(shared.system.cacheline_bytes as u64 * 8);
-            }
-            if let Some(reply_kind) = packet.kind.reply_kind() {
-                let reply = Packet {
-                    id: serial.next_packet_id,
-                    source: packet.destination,
-                    destination: packet.source,
-                    kind: reply_kind,
-                    injected_at: cycle + service,
-                    request_issued_at: packet.request_issued_at,
-                    hops: 0,
-                    virtual_channel: VirtualChannelId::UP,
-                };
-                serial.next_packet_id += 1;
-                serial.pending_replies.push(PendingReply {
-                    ready_cycle: cycle + service,
-                    node,
-                    packet: reply,
-                });
-            }
-        }
-        PacketKind::Synthetic => {}
+    fold_delivery(&mut router.local, &packet, cycle, measuring);
+    if matches!(
+        packet.kind,
+        PacketKind::ReadRequest | PacketKind::WriteRequest
+    ) {
+        let address = packet.id.wrapping_mul(64) % (1 << 33);
+        let service = router
+            .memory
+            .access(address, packet.kind == PacketKind::WriteRequest);
+        commit_serviced(shared, serial, service, packet, cycle, measuring);
     }
 }
 

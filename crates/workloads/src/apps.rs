@@ -80,6 +80,14 @@ impl ApplicationModel {
         }
     }
 
+    /// The workload whose [`name`](Self::name) is `name`, if any — the
+    /// inverse of the experiment-output rendering, used when restoring
+    /// checkpointed rows.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|w| w.name() == name)
+    }
+
     /// Fraction of accesses that are reads.
     #[must_use]
     pub fn read_ratio(self) -> f64 {

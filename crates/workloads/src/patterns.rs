@@ -72,6 +72,14 @@ impl SyntheticPattern {
             Self::Partition2 => "partition2",
         }
     }
+
+    /// The pattern whose [`name`](Self::name) is `name`, if any — the inverse
+    /// of the experiment-output rendering, used when restoring checkpointed
+    /// rows.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
 impl fmt::Display for SyntheticPattern {
