@@ -68,6 +68,20 @@ if [[ "${1:-}" != "--quick" ]]; then
     cmp "$resume_csv" "$clean_csv"
     rm -f "$resume_csv" "$clean_csv" "$resume_csv.journal"
     echo "==> resumed artifact byte-identical to a clean run"
+
+    # Extended-scenario smoke: the fault-injection study must uphold the
+    # same determinism contract — a 2-worker x 2-shard run of a faulty
+    # network produces bytes identical to the fully serial run.
+    echo "==> sfbench run fault_resilience --quick smoke (2 sweep workers x 2 sim shards)"
+    fault_serial_csv="$(mktemp)"
+    fault_sharded_csv="$(mktemp)"
+    SF_HARNESS_THREADS=1 SF_SIM_SHARDS=1 \
+        "$sfbench" run fault_resilience --quick --no-resume --csv "$fault_serial_csv" >/dev/null
+    SF_HARNESS_THREADS=2 SF_SIM_SHARDS=2 \
+        "$sfbench" run fault_resilience --quick --no-resume --csv "$fault_sharded_csv" >/dev/null
+    cmp "$fault_serial_csv" "$fault_sharded_csv"
+    rm -f "$fault_serial_csv" "$fault_sharded_csv"
+    echo "==> fault-scenario artifacts byte-identical"
 fi
 
 echo "==> CI green"

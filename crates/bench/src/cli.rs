@@ -1,11 +1,13 @@
 //! The `sfbench` command-line interface: one multiplexed entry point over
-//! the [`StudyRegistry`] of paper artefacts, plus the single flag parser
-//! every binary in this crate uses.
+//! the [`StudyRegistry`] of paper artefacts **and** extended scenario
+//! studies (fault injection, adversarial traffic, scale-out), plus the
+//! single flag parser every binary in this crate uses.
 //!
 //! ```text
 //! sfbench list                          # all studies with their artefacts
 //! sfbench grid fig10 --quick            # sweep axes and job count
 //! sfbench run fig10 --quick --csv f.csv # run a study, emit artifacts
+//! sfbench run fault_resilience --quick  # an extended scenario study
 //! ```
 //!
 //! The historical per-figure binaries (`fig10_saturation`, …) are shims
@@ -24,6 +26,12 @@
 //! `--csv` too).
 
 use stringfigure::study::{execute, print_result_table, RunContext, Study, StudyRegistry};
+
+/// Boolean flags `sfbench run` (and the shim binaries) accept.
+pub const RUN_BOOL_FLAGS: &[&str] = &["--quick", "--no-resume"];
+
+/// Value-carrying flags `sfbench run` (and the shim binaries) accept.
+pub const RUN_VALUE_FLAGS: &[&str] = &["--shards", "--csv", "--json", "--checkpoint"];
 
 /// Parsed command-line arguments: the one flag-parsing code path shared by
 /// `sfbench`, the shim binaries, and the legacy `sf_bench::arg_value`
@@ -92,6 +100,42 @@ impl CliArgs {
             }
         }
     }
+
+    /// Every `--flag` token that is unknown (in neither `bool_flags` nor
+    /// `value_flags`) **or malformed** — a boolean flag given a value in `=`
+    /// form (`--quick=1`), which [`flag`](Self::flag) would otherwise
+    /// silently ignore — in argument order. Tokens consumed as a value
+    /// flag's value (`--csv out.csv`) are not flags; a leading-dash value is
+    /// only reachable through the `=` form (`--csv=--odd`), consistent with
+    /// [`value`](Self::value).
+    #[must_use]
+    pub fn unknown_flags(&self, bool_flags: &[&str], value_flags: &[&str]) -> Vec<String> {
+        let mut unknown = Vec::new();
+        let mut args = self.raw.iter().peekable();
+        while let Some(arg) = args.next() {
+            if !arg.starts_with("--") {
+                continue;
+            }
+            let name = arg.split_once('=').map_or(arg.as_str(), |(n, _)| n);
+            if bool_flags.contains(&name) {
+                // Boolean flags take no value: `--quick=1` would not match
+                // `flag("--quick")` and must be surfaced, not dropped.
+                if arg.contains('=') {
+                    unknown.push(format!("{arg} ({name} takes no value)"));
+                }
+                continue;
+            }
+            if value_flags.contains(&name) {
+                // The space form consumes the next token as its value.
+                if !arg.contains('=') && args.peek().is_some_and(|v| !v.starts_with("--")) {
+                    args.next();
+                }
+                continue;
+            }
+            unknown.push(name.to_string());
+        }
+        unknown
+    }
 }
 
 /// Builds the [`RunContext`] a `run` invocation describes.
@@ -116,6 +160,16 @@ fn context_from_args(args: &CliArgs) -> RunContext {
 
 /// Runs `study` with the given arguments; returns a process exit code.
 fn run_study(study: &dyn Study, args: &CliArgs) -> i32 {
+    let unknown = args.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS);
+    if !unknown.is_empty() {
+        eprintln!(
+            "error: unknown or malformed flag(s) {}; known: {} {}",
+            unknown.join(", "),
+            RUN_BOOL_FLAGS.join(" "),
+            RUN_VALUE_FLAGS.join(" ")
+        );
+        return 2;
+    }
     eprintln!("# {}: {}", study.artefact(), study.description());
     crate::announce_pool();
     let ctx = context_from_args(args);
@@ -145,7 +199,7 @@ fn print_usage() {
         "usage: sfbench <command> [args]\n\
          \n\
          commands:\n\
-         \x20 list                     studies in the registry, one per line\n\
+         \x20 list                     studies in the registry (paper + extended scenarios)\n\
          \x20 grid <study> [--quick]   sweep axes and job count of a study\n\
          \x20 run <study> [options]    run a study\n\
          \n\
@@ -167,7 +221,7 @@ fn print_usage() {
 /// program name). Returns the process exit code.
 #[must_use]
 pub fn main(args: Vec<String>) -> i32 {
-    let registry = StudyRegistry::paper();
+    let registry = StudyRegistry::all();
     let mut args = args.into_iter();
     match args.next().as_deref() {
         Some("list") => {
@@ -224,7 +278,7 @@ pub fn main(args: Vec<String>) -> i32 {
 /// the process's own arguments, exactly like `sfbench run <study> <args>`.
 #[must_use]
 pub fn delegate(study: &str) -> i32 {
-    let registry = StudyRegistry::paper();
+    let registry = StudyRegistry::all();
     let Some(study) = registry.get(study) else {
         return unknown_study(study, &registry);
     };
@@ -293,5 +347,69 @@ mod tests {
             0
         );
         assert_eq!(main(Vec::new()), 0);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_before_a_run_starts() {
+        assert_eq!(
+            main(vec!["run".into(), "fig10".into(), "--bogus".into()]),
+            2
+        );
+        assert_eq!(
+            main(vec!["run".into(), "fig10".into(), "--quik=1".into()]),
+            2
+        );
+        // A boolean flag given a value would be silently ignored by
+        // `flag()`; it must abort the run instead of running at the wrong
+        // scale.
+        assert_eq!(
+            main(vec!["run".into(), "fig10".into(), "--quick=1".into()]),
+            2
+        );
+        assert_eq!(
+            main(vec![
+                "run".into(),
+                "fig10".into(),
+                "--no-resume=true".into()
+            ]),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_flag_scan_skips_values_and_positionals() {
+        let a = args(&["--quick", "--csv", "out.csv", "--shards=2", "positional"]);
+        assert!(a.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS).is_empty());
+        // A value flag's missing value does not swallow the next flag.
+        let b = args(&["--csv", "--weird"]);
+        assert_eq!(
+            b.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS),
+            vec!["--weird".to_string()]
+        );
+        // `=`-form values that start with dashes stay values.
+        let c = args(&["--csv=--odd-name"]);
+        assert!(c.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS).is_empty());
+        let d = args(&["--nope", "--quick"]);
+        assert_eq!(
+            d.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS),
+            vec!["--nope".to_string()]
+        );
+    }
+
+    #[test]
+    fn extended_studies_are_reachable_through_the_cli() {
+        assert_eq!(
+            main(vec![
+                "grid".into(),
+                "fault_resilience".into(),
+                "--quick".into()
+            ]),
+            0
+        );
+        assert_eq!(
+            main(vec!["grid".into(), "adversarial_saturation".into()]),
+            0
+        );
+        assert_eq!(main(vec!["grid".into(), "scaleout".into()]), 0);
     }
 }

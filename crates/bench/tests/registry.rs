@@ -1,11 +1,13 @@
 //! Registry completeness and golden-artifact tests for the unified study
 //! API.
 //!
-//! * Every paper artefact listed in the `experiments.rs` doc table must have
-//!   a registered [`Study`] with a non-empty description.
+//! * Every artefact listed in the `experiments.rs` doc table — the eight
+//!   paper artefacts plus the extended scenarios — must have a registered
+//!   [`Study`] with a non-empty description, in the right registry group.
 //! * `sfbench run <study> --quick --csv` must emit a CSV byte-identical to
-//!   the pre-redesign figure binary's output (fixtures captured under
-//!   `tests/golden/` before the redesign).
+//!   the golden fixture under `tests/golden/` (the paper goldens were
+//!   captured before the PR-3 redesign; the scenario goldens pin the
+//!   studies introduced with the fault-injection subsystem).
 //! * A run resumed from a truncated (interrupted) checkpoint journal must
 //!   produce the same bytes as an uninterrupted run.
 
@@ -25,10 +27,13 @@ fn registry_covers_every_artefact_in_the_experiments_doc_table() {
     }
     assert_eq!(
         drivers.len(),
-        8,
-        "experiments.rs doc table should list all eight artefacts"
+        11,
+        "experiments.rs doc table should list the eight paper artefacts plus the three scenarios"
     );
-    let registry = StudyRegistry::paper();
+    let paper = StudyRegistry::paper();
+    let extended = StudyRegistry::extended();
+    let registry = StudyRegistry::all();
+    assert_eq!(registry.len(), paper.len() + extended.len());
     for driver in drivers {
         let study = registry
             .iter()
@@ -42,6 +47,21 @@ fn registry_covers_every_artefact_in_the_experiments_doc_table() {
         assert!(
             !study.artefact().is_empty(),
             "study {} has an empty artefact",
+            study.name()
+        );
+        // Scenario studies live in the extended group and only there;
+        // everything else is a paper artefact and only that.
+        let is_scenario = study.artefact().starts_with("Scenario:");
+        assert_eq!(
+            extended.get(study.name()).is_some(),
+            is_scenario,
+            "study {} is in the wrong registry group",
+            study.name()
+        );
+        assert_eq!(
+            paper.get(study.name()).is_some(),
+            !is_scenario,
+            "study {} is in the wrong registry group",
             study.name()
         );
     }
@@ -127,6 +147,30 @@ fn bisection_quick_csv_is_byte_identical_to_the_pre_redesign_binary() {
     assert_eq!(
         run_quick_csv("bisection"),
         include_str!("golden/bisection_bandwidth.quick.csv")
+    );
+}
+
+#[test]
+fn fault_resilience_quick_csv_matches_its_golden() {
+    assert_eq!(
+        run_quick_csv("fault_resilience"),
+        include_str!("golden/fault_resilience.quick.csv")
+    );
+}
+
+#[test]
+fn adversarial_saturation_quick_csv_matches_its_golden() {
+    assert_eq!(
+        run_quick_csv("adversarial_saturation"),
+        include_str!("golden/adversarial_saturation.quick.csv")
+    );
+}
+
+#[test]
+fn scaleout_2048_quick_csv_matches_its_golden() {
+    assert_eq!(
+        run_quick_csv("scaleout_2048"),
+        include_str!("golden/scaleout_2048.quick.csv")
     );
 }
 

@@ -19,6 +19,9 @@
 //! | [`workload_study`]             | Figure 12(a) and 12(b) |
 //! | [`bisection_study`]            | Section V bisection methodology |
 //! | [`configuration_table`]        | Figure 8 / Table II |
+//! | [`fault_resilience_study`]     | Scenario: fault injection |
+//! | [`adversarial_saturation_study`] | Scenario: adversarial traffic |
+//! | [`scaleout_study`]             | Scenario: scale-out beyond 1296 nodes |
 
 use crate::comparison::{NetworkInstance, TopologyKind};
 use crate::network::StringFigureNetwork;
@@ -31,7 +34,7 @@ use sf_harness::table::{Record, Value};
 use sf_harness::BuildCache;
 use sf_netsim::SimulationStats;
 use sf_topology::analysis;
-use sf_types::{NodeId, SfResult, SimulationConfig, SystemConfig};
+use sf_types::{FaultPlan, NodeId, SfResult, SimulationConfig, SystemConfig};
 use sf_workloads::{
     AddressMapper, ApplicationModel, CacheHierarchy, PatternTraffic, SyntheticPattern,
     WorkloadTraffic,
@@ -987,6 +990,198 @@ pub fn configuration_table_with_ctx(
     })
 }
 
+// ---------------------------------------------------------------------------
+// Scenario: fault injection, adversarial traffic, scale-out
+// ---------------------------------------------------------------------------
+
+/// One row of the fault-resilience scenario study: one design under one
+/// fault severity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultResilienceRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Undirected links taken down per fault wave.
+    pub links_per_wave: usize,
+    /// Routers power-gated per fault wave.
+    pub routers_per_wave: usize,
+    /// Link-down fault events the run applied.
+    pub link_down_events: u64,
+    /// Router power-gate fault events the run applied.
+    pub router_down_events: u64,
+    /// Memory requests injected during the measured phase.
+    pub injected: u64,
+    /// Requests whose reply made it back during the measured phase — the
+    /// end-to-end survivors.
+    pub completed_requests: u64,
+    /// Packets lost to fault injection over the whole run.
+    pub dropped_packets: u64,
+    /// Completed requests / injected requests (the survival metric of the
+    /// scenario; can slightly exceed 1 on a healthy network because warm-up
+    /// requests complete inside the measured window).
+    pub completion_ratio: f64,
+    /// Average request round-trip latency in cycles.
+    pub average_round_trip_cycles: f64,
+}
+
+impl FaultResilienceRow {
+    /// Total fault events (link-down plus router power-gate) the run applied.
+    #[must_use]
+    pub fn fault_events(&self) -> u64 {
+        self.link_down_events + self.router_down_events
+    }
+}
+
+/// Scenario study: how each design degrades (delivery ratio, drops, latency)
+/// under deterministic waves of link failures and router power-gate events,
+/// at increasing severity. Severity `(0, 0)` is the healthy baseline row,
+/// run without any fault plan — pinning the zero-cost-off contract.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn fault_resilience_study(
+    kinds: &[TopologyKind],
+    nodes: usize,
+    severities: &[(usize, usize)],
+    injection_rate: f64,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<FaultResilienceRow>> {
+    fault_resilience_study_with_ctx(
+        &RunContext::new(),
+        kinds,
+        nodes,
+        severities,
+        injection_rate,
+        scale,
+        seed,
+    )
+}
+
+/// [`fault_resilience_study`] inside an explicit [`RunContext`] — the single
+/// code path behind the `fault_resilience` study: one job per
+/// (design, severity) pair.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+#[allow(clippy::too_many_arguments)]
+pub fn fault_resilience_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    nodes: usize,
+    severities: &[(usize, usize)],
+    injection_rate: f64,
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<FaultResilienceRow>> {
+    let measured = (scale.max_cycles - scale.warmup_cycles).max(1);
+    ctx.run_jobs(cross2(kinds, severities), |_, &(kind, (links, routers))| {
+        let instance = ctx.instance(kind, nodes, seed)?;
+        let plan = (links > 0 || routers > 0).then(|| {
+            FaultPlan::new(seed ^ 0x00fa_0175)
+                .starting_at(scale.warmup_cycles)
+                .with_period((measured / 8).max(1))
+                .with_severity(links, routers)
+                .with_repair_cycles((measured / 16).max(1))
+        });
+        let config = scale.simulation_config().with_fault(plan);
+        let mut sim = instance
+            .make_simulator(SystemConfig::default(), config)?
+            .with_request_reply(true);
+        let mut traffic =
+            PatternTraffic::new(SyntheticPattern::UniformRandom, nodes, injection_rate, seed);
+        let stats = sim.run(&mut traffic)?;
+        Ok(FaultResilienceRow {
+            kind,
+            nodes,
+            links_per_wave: links,
+            routers_per_wave: routers,
+            link_down_events: stats.link_down_events,
+            router_down_events: stats.router_down_events,
+            injected: stats.injected,
+            completed_requests: stats.completed_requests,
+            dropped_packets: stats.dropped_packets,
+            completion_ratio: stats.completed_requests as f64 / stats.injected.max(1) as f64,
+            average_round_trip_cycles: stats.average_round_trip_cycles(),
+        })
+    })
+}
+
+/// Scenario study: the Figure 10 saturation methodology driven by the three
+/// adversarial traffic patterns ([`SyntheticPattern::ADVERSARIAL`]) instead
+/// of the paper's well-behaved Table III patterns.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn adversarial_saturation_study(
+    kinds: &[TopologyKind],
+    nodes: usize,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<SaturationRow>> {
+    adversarial_saturation_study_with_ctx(&RunContext::new(), kinds, nodes, rates, scale, seed)
+}
+
+/// [`adversarial_saturation_study`] inside an explicit [`RunContext`] — the
+/// single code path behind the `adversarial_saturation` study.
+///
+/// # Errors
+///
+/// Propagates construction and simulation errors.
+pub fn adversarial_saturation_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    nodes: usize,
+    rates: &[f64],
+    scale: ExperimentScale,
+    seed: u64,
+) -> SfResult<Vec<SaturationRow>> {
+    let mut rows = Vec::with_capacity(SyntheticPattern::ADVERSARIAL.len() * kinds.len());
+    for pattern in SyntheticPattern::ADVERSARIAL {
+        rows.extend(saturation_study_with_ctx(
+            ctx, kinds, nodes, pattern, rates, scale, seed,
+        )?);
+    }
+    Ok(rows)
+}
+
+/// Scenario study: the Figure 9(a) hop-count methodology pushed beyond the
+/// paper's 1296-node maximum, for the designs whose radix does not grow with
+/// scale.
+///
+/// # Errors
+///
+/// Propagates topology construction and routing errors.
+pub fn scaleout_study(
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    samples: usize,
+    seed: u64,
+) -> SfResult<Vec<HopCountRow>> {
+    scaleout_study_with_ctx(&RunContext::new(), kinds, sizes, samples, seed)
+}
+
+/// [`scaleout_study`] inside an explicit [`RunContext`] — the single code
+/// path behind the `scaleout_2048` study.
+///
+/// # Errors
+///
+/// Propagates topology construction and routing errors.
+pub fn scaleout_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    samples: usize,
+    seed: u64,
+) -> SfResult<Vec<HopCountRow>> {
+    hop_count_study_with_ctx(ctx, kinds, sizes, samples, seed)
+}
+
 /// Average-path-length summary of a partially gated String Figure network,
 /// used by the reconfiguration examples and tests.
 ///
@@ -1130,6 +1325,39 @@ impl Record for BisectionRow {
             self.nodes.into(),
             self.minimum.into(),
             self.average.into(),
+        ]
+    }
+}
+
+impl Record for FaultResilienceRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "kind",
+            "nodes",
+            "links_per_wave",
+            "routers_per_wave",
+            "link_down_events",
+            "router_down_events",
+            "injected",
+            "completed_requests",
+            "dropped_packets",
+            "completion_ratio",
+            "average_round_trip_cycles",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.nodes.into(),
+            self.links_per_wave.into(),
+            self.routers_per_wave.into(),
+            self.link_down_events.into(),
+            self.router_down_events.into(),
+            self.injected.into(),
+            self.completed_requests.into(),
+            self.dropped_packets.into(),
+            self.completion_ratio.into(),
+            self.average_round_trip_cycles.into(),
         ]
     }
 }
@@ -1302,6 +1530,64 @@ mod tests {
         assert!(fb.router_ports > sf_row.router_ports);
         assert!(fb.links > sf_row.links);
         assert!(sf_row.supports_reconfiguration);
+    }
+
+    #[test]
+    fn fault_resilience_study_degrades_with_severity() {
+        let rows = fault_resilience_study(
+            &[TopologyKind::StringFigure],
+            36,
+            &[(0, 0), (3, 2)],
+            0.05,
+            ExperimentScale::quick(),
+            11,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        let healthy = &rows[0];
+        let stormy = &rows[1];
+        assert_eq!(healthy.link_down_events, 0);
+        assert_eq!(healthy.router_down_events, 0);
+        assert_eq!(healthy.dropped_packets, 0);
+        assert!(healthy.completion_ratio > 0.95, "{healthy:?}");
+        assert!(stormy.fault_events() > 0);
+        assert!(stormy.dropped_packets > 0);
+        assert!(
+            stormy.completed_requests > 0,
+            "network must survive the storm"
+        );
+        assert!(stormy.completion_ratio <= healthy.completion_ratio + 1e-9);
+    }
+
+    #[test]
+    fn adversarial_saturation_covers_every_adversarial_pattern() {
+        let rows = adversarial_saturation_study(
+            &[TopologyKind::StringFigure],
+            36,
+            &[0.05, 0.30],
+            ExperimentScale::quick(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), SyntheticPattern::ADVERSARIAL.len());
+        for (row, pattern) in rows.iter().zip(SyntheticPattern::ADVERSARIAL) {
+            assert_eq!(row.pattern, pattern);
+        }
+    }
+
+    #[test]
+    fn scaleout_study_reaches_beyond_small_scales() {
+        let rows = scaleout_study(
+            &[TopologyKind::SpaceShuffle, TopologyKind::StringFigure],
+            &[64, 128],
+            50,
+            7,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.average_routed_hops >= 1.0, "{row:?}");
+        }
     }
 
     #[test]

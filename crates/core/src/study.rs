@@ -18,16 +18,21 @@
 //!   recomputing them — and the final artifact is **byte-identical** to an
 //!   uninterrupted run (job results round-trip exactly through the journal).
 //!
-//! The `sfbench` CLI in `sf-bench` is a thin multiplexer over
-//! [`StudyRegistry::paper`]; the old per-figure binaries are shims that
-//! delegate to the same registry.
+//! Beyond the paper, [`StudyRegistry::extended`] groups the scenario
+//! studies (fault injection, adversarial traffic, scale-out past 1296
+//! nodes) that the same trait machinery makes additive; the `sfbench` CLI
+//! in `sf-bench` is a thin multiplexer over [`StudyRegistry::all`] (paper
+//! plus extended), and the old per-figure binaries are shims that delegate
+//! to the same registry.
 
 use crate::comparison::{NetworkInstance, TopologyKind};
 use crate::experiments::{
-    self, bisection_study_with_ctx, configuration_table_with_ctx, hop_count_study_with_ctx,
+    self, adversarial_saturation_study_with_ctx, bisection_study_with_ctx,
+    configuration_table_with_ctx, fault_resilience_study_with_ctx, hop_count_study_with_ctx,
     latency_curve_with_ctx, power_gating_study_with_ctx, saturation_study_with_ctx,
-    surg_path_length_study_with_ctx, workload_study_with_ctx, ExperimentScale, HopCountRow,
-    LatencyPoint, PowerGateRow, SaturationRow, WorkloadRow,
+    scaleout_study_with_ctx, surg_path_length_study_with_ctx, workload_study_with_ctx,
+    ExperimentScale, FaultResilienceRow, HopCountRow, LatencyPoint, PowerGateRow, SaturationRow,
+    WorkloadRow,
 };
 use sf_harness::journal::{self, Journal};
 use sf_harness::pool::PoolConfig;
@@ -214,6 +219,32 @@ impl CheckpointRow for BisectionBandwidth {
             minimum: cell_u64(minimum)?,
             average: cell_f64(average)?,
             samples: cell_usize(samples)?,
+        })
+    }
+}
+
+impl CheckpointRow for FaultResilienceRow {
+    fn to_cells(&self) -> Vec<Value> {
+        self.values()
+    }
+    fn from_cells(cells: &[Value]) -> Option<Self> {
+        let [kind, nodes, links, routers, link_ev, router_ev, injected, completed, dropped, ratio, rtt] =
+            cells
+        else {
+            return None;
+        };
+        Some(Self {
+            kind: TopologyKind::from_name(cell_str(kind)?)?,
+            nodes: cell_usize(nodes)?,
+            links_per_wave: cell_usize(links)?,
+            routers_per_wave: cell_usize(routers)?,
+            link_down_events: cell_u64(link_ev)?,
+            router_down_events: cell_u64(router_ev)?,
+            injected: cell_u64(injected)?,
+            completed_requests: cell_u64(completed)?,
+            dropped_packets: cell_u64(dropped)?,
+            completion_ratio: cell_f64(ratio)?,
+            average_round_trip_cycles: cell_f64(rtt)?,
         })
     }
 }
@@ -714,6 +745,31 @@ impl StudyRegistry {
         registry.register(Box::new(Fig11LatencyCurves));
         registry.register(Box::new(Fig12Workloads));
         registry.register(Box::new(BisectionStudy));
+        registry
+    }
+
+    /// The extended (beyond-paper) scenario group: fault injection,
+    /// adversarial traffic, and scale-out sweeps past the paper's 1296-node
+    /// maximum. Kept separate from [`paper`](Self::paper) so the
+    /// reproduction surface stays clearly delineated; `sfbench` exposes both
+    /// through [`all`](Self::all).
+    #[must_use]
+    pub fn extended() -> Self {
+        let mut registry = Self::new();
+        registry.register(Box::new(FaultResilience));
+        registry.register(Box::new(AdversarialSaturation));
+        registry.register(Box::new(Scaleout2048));
+        registry
+    }
+
+    /// Every registered study: the paper group followed by the extended
+    /// scenario group — the registry behind `sfbench list/grid/run`.
+    #[must_use]
+    pub fn all() -> Self {
+        let mut registry = Self::paper();
+        for study in Self::extended().studies {
+            registry.register(study);
+        }
         registry
     }
 
@@ -1437,6 +1493,186 @@ impl Study for BisectionStudy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The extended scenario studies (beyond the paper's evaluation)
+// ---------------------------------------------------------------------------
+
+/// Scenario: delivery ratio, drops, and latency under deterministic waves of
+/// link failures and router power-gate events.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultResilience;
+
+impl FaultResilience {
+    const RATE: f64 = 0.05;
+
+    #[allow(clippy::type_complexity)]
+    fn params(
+        ctx: &RunContext,
+    ) -> (
+        Vec<TopologyKind>,
+        usize,
+        Vec<(usize, usize)>,
+        ExperimentScale,
+    ) {
+        let (kinds, nodes, severities) = if ctx.is_quick() {
+            (
+                vec![TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+                48,
+                vec![(0, 0), (2, 1)],
+            )
+        } else {
+            (
+                vec![
+                    TopologyKind::DistributedMesh,
+                    TopologyKind::SpaceShuffle,
+                    TopologyKind::StringFigure,
+                ],
+                256,
+                vec![(0, 0), (1, 0), (2, 1), (4, 2)],
+            )
+        };
+        let scale = ctx.scale(ExperimentScale {
+            max_cycles: 6_000,
+            warmup_cycles: 800,
+            ..ExperimentScale::paper()
+        });
+        (kinds, nodes, severities, scale)
+    }
+}
+
+impl Study for FaultResilience {
+    fn name(&self) -> &'static str {
+        "fault_resilience"
+    }
+    fn artefact(&self) -> &'static str {
+        "Scenario: fault injection"
+    }
+    fn description(&self) -> &'static str {
+        "delivery ratio, drops, and latency under deterministic link-failure and router power-gate waves"
+    }
+    fn driver(&self) -> &'static str {
+        "fault_resilience_study"
+    }
+    fn grid(&self, ctx: &RunContext) -> StudyGrid {
+        let (kinds, _, severities, _) = Self::params(ctx);
+        StudyGrid::new(vec![
+            ("design", kinds.len()),
+            ("fault severity", severities.len()),
+        ])
+    }
+    fn run(&self, ctx: &RunContext) -> SfResult<Table> {
+        let (kinds, nodes, severities, scale) = Self::params(ctx);
+        let rows = fault_resilience_study_with_ctx(
+            ctx,
+            &kinds,
+            nodes,
+            &severities,
+            Self::RATE,
+            scale,
+            19,
+        )?;
+        Ok(Table::from_records(&rows))
+    }
+}
+
+/// Scenario: the saturation methodology under adversarial traffic (hotspot
+/// storm, bursty on/off, bit-reversal permutation).
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialSaturation;
+
+impl AdversarialSaturation {
+    fn params(ctx: &RunContext) -> (Vec<TopologyKind>, usize, Vec<f64>, ExperimentScale) {
+        let (nodes, rates) = if ctx.is_quick() {
+            (36, vec![0.05, 0.2, 0.4, 0.7])
+        } else {
+            (128, vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9])
+        };
+        let scale = ctx.scale(ExperimentScale {
+            max_cycles: 6_000,
+            warmup_cycles: 800,
+            ..ExperimentScale::paper()
+        });
+        (TopologyKind::ALL.to_vec(), nodes, rates, scale)
+    }
+}
+
+impl Study for AdversarialSaturation {
+    fn name(&self) -> &'static str {
+        "adversarial_saturation"
+    }
+    fn artefact(&self) -> &'static str {
+        "Scenario: adversarial traffic"
+    }
+    fn description(&self) -> &'static str {
+        "highest non-saturating injection rate per design under hotspot-storm, bursty, and bit-reversal traffic"
+    }
+    fn driver(&self) -> &'static str {
+        "adversarial_saturation_study"
+    }
+    fn grid(&self, ctx: &RunContext) -> StudyGrid {
+        let (kinds, _, _, _) = Self::params(ctx);
+        StudyGrid::new(vec![
+            ("pattern", SyntheticPattern::ADVERSARIAL.len()),
+            ("design", kinds.len()),
+        ])
+    }
+    fn run(&self, ctx: &RunContext) -> SfResult<Table> {
+        let (kinds, nodes, rates, scale) = Self::params(ctx);
+        let rows = adversarial_saturation_study_with_ctx(ctx, &kinds, nodes, &rates, scale, 3)?;
+        Ok(Table::from_records(&rows))
+    }
+}
+
+/// Scenario: hop-count scaling of the fixed-radix designs beyond the paper's
+/// 1296-node maximum, up to 2048 nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct Scaleout2048;
+
+impl Scaleout2048 {
+    const KINDS: [TopologyKind; 3] = [
+        TopologyKind::SpaceShuffle,
+        TopologyKind::StringFigure,
+        TopologyKind::Jellyfish,
+    ];
+
+    fn params(ctx: &RunContext) -> (Vec<usize>, usize) {
+        if ctx.is_quick() {
+            (vec![128, 256], 200)
+        } else {
+            (vec![512, 1024, 2048], 1_000)
+        }
+    }
+}
+
+impl Study for Scaleout2048 {
+    fn name(&self) -> &'static str {
+        "scaleout_2048"
+    }
+    fn aliases(&self) -> &'static [&'static str] {
+        &["scaleout"]
+    }
+    fn artefact(&self) -> &'static str {
+        "Scenario: scale-out beyond 1296 nodes"
+    }
+    fn description(&self) -> &'static str {
+        "path-length and routed hop-count scaling of the fixed-radix designs up to 2048 nodes"
+    }
+    fn driver(&self) -> &'static str {
+        "scaleout_study"
+    }
+    fn grid(&self, ctx: &RunContext) -> StudyGrid {
+        StudyGrid::new(vec![
+            ("nodes", Self::params(ctx).0.len()),
+            ("design", Self::KINDS.len()),
+        ])
+    }
+    fn run(&self, ctx: &RunContext) -> SfResult<Table> {
+        let (sizes, samples) = Self::params(ctx);
+        let rows = scaleout_study_with_ctx(ctx, &Self::KINDS, &sizes, samples, 7)?;
+        Ok(Table::from_records(&rows))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1467,8 +1703,41 @@ mod tests {
     }
 
     #[test]
+    fn extended_registry_holds_the_scenario_studies() {
+        let extended = StudyRegistry::extended();
+        assert_eq!(
+            extended.names(),
+            vec![
+                "fault_resilience",
+                "adversarial_saturation",
+                "scaleout_2048"
+            ]
+        );
+        for study in extended.iter() {
+            assert!(
+                study.artefact().starts_with("Scenario:"),
+                "{}",
+                study.name()
+            );
+            assert!(!study.description().is_empty(), "{}", study.name());
+        }
+        // The combined registry is paper + extended, and names never clash.
+        let all = StudyRegistry::all();
+        assert_eq!(all.len(), StudyRegistry::paper().len() + extended.len());
+        let mut names = all.names();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate study names");
+        assert_eq!(all.get("scaleout").unwrap().name(), "scaleout_2048");
+        assert!(all.get("fig10").is_some());
+        assert!(all.get("fault_resilience").is_some());
+        // The paper registry deliberately does NOT expose the scenarios.
+        assert!(StudyRegistry::paper().get("fault_resilience").is_none());
+    }
+
+    #[test]
     fn grids_report_their_job_counts() {
-        let registry = StudyRegistry::paper();
+        let registry = StudyRegistry::all();
         let quick = RunContext::new().quick(true);
         let full = RunContext::new();
         for study in registry.iter() {
@@ -1626,6 +1895,36 @@ mod tests {
         };
         assert_eq!(BisectionBandwidth::from_cells(&bb.to_cells()).unwrap(), bb);
         assert!(HopCountRow::from_cells(&[Value::Null]).is_none());
+
+        let fault = FaultResilienceRow {
+            kind: TopologyKind::StringFigure,
+            nodes: 256,
+            links_per_wave: 2,
+            routers_per_wave: 1,
+            link_down_events: 7,
+            router_down_events: 3,
+            injected: 12_345,
+            completed_requests: 12_001,
+            dropped_packets: 98,
+            completion_ratio: 12_001.0 / 12_345.0,
+            average_round_trip_cycles: 0.1 + 0.2,
+        };
+        assert_eq!(
+            FaultResilienceRow::from_cells(&fault.to_cells()).unwrap(),
+            fault
+        );
+        assert!(FaultResilienceRow::from_cells(&[Value::Null]).is_none());
+
+        let adversarial = SaturationRow {
+            kind: TopologyKind::StringFigure,
+            nodes: 128,
+            pattern: SyntheticPattern::HotspotStorm,
+            saturation_percent: Some(20.0),
+        };
+        assert_eq!(
+            SaturationRow::from_cells(&adversarial.to_cells()).unwrap(),
+            adversarial
+        );
     }
 
     #[test]

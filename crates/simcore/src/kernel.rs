@@ -36,6 +36,24 @@
 //! queues only couple routers *across* cycle boundaries; the wavefront only
 //! has to order same-cycle credit traffic, which is what keeps the waits
 //! short and the parallelism real.
+//!
+//! # Fault injection
+//!
+//! An optional [`sf_types::FaultPlan`] in the simulation configuration turns
+//! on deterministic fault injection: link-down and router power-gate waves
+//! whose victims are a pure function of `(seed, cycle)`. Fault events are
+//! applied **at cycle boundaries on the coordinating thread, before the
+//! routing wavefront** — the liveness flags are written only while the
+//! workers are parked at the barrier and read-only during the parallel
+//! phase, so the bit-identity contract above extends unchanged to faulty
+//! runs. Semantics: packets queued at a router when it is gated (and
+//! packets in flight towards it, and replies released at it) are dropped
+//! and counted in [`SimulationStats::dropped_packets`]; packets in flight
+//! on a failing link are dropped; forwards towards a dead link or router
+//! are blocked (adaptive protocols see the resource as fully loaded and
+//! route around it); every fault heals after the plan's repair latency.
+//! With no plan configured none of this machinery runs — the healthy path
+//! is behaviour-identical to the pre-fault kernel.
 
 use crate::memory::MemoryNodeModel;
 use crate::packet::{Packet, PacketKind, TrafficModel, TrafficRequest};
@@ -43,7 +61,9 @@ use crate::shard::{resolve_shard_count, ShardPlan};
 use crate::stats::SimulationStats;
 use sf_routing::{PortLoadEstimator, RoutingContext, RoutingProtocol};
 use sf_topology::{AdjacencyGraph, GridPlacement};
-use sf_types::{NodeId, SfError, SfResult, SimulationConfig, SystemConfig, VirtualChannelId};
+use sf_types::{
+    FaultPlan, NodeId, SfError, SfResult, SimulationConfig, SystemConfig, VirtualChannelId,
+};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -157,6 +177,46 @@ struct ShardState {
     routers: Vec<RouterState>,
 }
 
+/// One undirected link as fault injection sees it: the directed input-queue
+/// slots of both directions (one slot for a uni-directional link), each as
+/// `(receiving node, index of the sender in its adjacency list)`.
+#[derive(Debug)]
+struct FaultEdge {
+    slots: Vec<(usize, usize)>,
+}
+
+/// Fault-injection state shared with the routing workers. The liveness
+/// flags are written only at cycle boundaries (while workers are parked at
+/// the barrier) and read during the parallel phase, so relaxed atomics are
+/// race-free and cycle-constant.
+struct FaultRuntime {
+    plan: FaultPlan,
+    /// Undirected links in deterministic (construction) order — the victim
+    /// pool of link-down waves.
+    edges: Vec<FaultEdge>,
+    /// Flattened per-directed-link down flags:
+    /// `link_down[link_offset[to] + from_index]`.
+    link_offset: Vec<usize>,
+    link_down: Vec<AtomicBool>,
+    /// Per-router power-gate flags.
+    router_down: Vec<AtomicBool>,
+}
+
+/// A scheduled fault repair, applied at the first boundary at or after `at`.
+#[derive(Debug, Clone, Copy)]
+struct FaultRepair {
+    at: u64,
+    victim: FaultVictim,
+}
+
+/// What a repair heals: an edge index in [`FaultRuntime::edges`] or a
+/// router id.
+#[derive(Debug, Clone, Copy)]
+enum FaultVictim {
+    Edge(usize),
+    Router(usize),
+}
+
 /// Everything the shard workers share read-only (plus atomics).
 struct Shared {
     system: SystemConfig,
@@ -184,11 +244,29 @@ struct Shared {
     /// routing phase of `cycle`. Release/Acquire pairs on these publish the
     /// relaxed occupancy writes.
     done: Vec<AtomicU64>,
+    /// Fault-injection state; `None` (no plan configured) is the healthy
+    /// network and skips every fault check.
+    fault: Option<FaultRuntime>,
 }
 
 impl Shared {
     fn occ(&self, node: usize, link: usize, vc: usize) -> &AtomicUsize {
         &self.occupancy[self.occ_offset[node] + link * self.config.virtual_channels + vc]
+    }
+
+    /// Whether router `node` is currently power-gated by fault injection.
+    fn router_faulted(&self, node: usize) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.router_down[node].load(Ordering::Relaxed))
+    }
+
+    /// Whether the directed link into `to` from adjacency slot `from_index`
+    /// is currently down.
+    fn link_faulted(&self, to: usize, from_index: usize) -> bool {
+        self.fault
+            .as_ref()
+            .is_some_and(|f| f.link_down[f.link_offset[to] + from_index].load(Ordering::Relaxed))
     }
 
     fn lock_all(&self) -> Vec<MutexGuard<'_, ShardState>> {
@@ -224,6 +302,8 @@ struct SerialState {
     stats: SimulationStats,
     in_flight: Vec<InFlight>,
     pending_replies: BinaryHeap<PendingReply>,
+    /// Outstanding fault repairs, in strike order (deterministic).
+    fault_repairs: Vec<FaultRepair>,
 }
 
 /// View over the credit counters handed to adaptive routing protocols.
@@ -238,6 +318,11 @@ impl PortLoadEstimator for AtomicLoadView<'_> {
         let Some(&idx) = self.shared.neighbor_index[to.index()].get(&from.index()) else {
             return 0.0;
         };
+        // A dead link or router reads as fully loaded, so adaptive protocols
+        // route around the fault instead of waiting for its repair.
+        if self.shared.router_faulted(to.index()) || self.shared.link_faulted(to.index(), idx) {
+            return 1.0;
+        }
         let vcs = self.shared.config.virtual_channels;
         let used: usize = (0..vcs)
             .map(|vc| self.shared.occ(to.index(), idx, vc).load(Ordering::Relaxed))
@@ -335,6 +420,43 @@ impl ShardedSimulator {
         }
         let occupancy = (0..total_counters).map(|_| AtomicUsize::new(0)).collect();
 
+        let fault = config.fault.map(|plan| {
+            // Enumerate the undirected links once, in deterministic order
+            // (router id, then adjacency order) — the victim pool of
+            // link-down waves. A uni-directional link contributes one
+            // directed slot; a bi-directional one contributes both, so the
+            // whole connection fails and heals as a unit.
+            let mut link_offset = Vec::with_capacity(num_nodes);
+            let mut total_links = 0usize;
+            for nbs in &adjacency {
+                link_offset.push(total_links);
+                total_links += nbs.len();
+            }
+            let mut edge_index: HashMap<(usize, usize), usize> = HashMap::new();
+            let mut edges: Vec<FaultEdge> = Vec::new();
+            for (m, nbs) in adjacency.iter().enumerate() {
+                for x in nbs {
+                    let x = x.index();
+                    let key = (m.min(x), m.max(x));
+                    let slot = (x, neighbor_index[x][&m]);
+                    match edge_index.get(&key) {
+                        Some(&e) => edges[e].slots.push(slot),
+                        None => {
+                            edge_index.insert(key, edges.len());
+                            edges.push(FaultEdge { slots: vec![slot] });
+                        }
+                    }
+                }
+            }
+            FaultRuntime {
+                plan,
+                edges,
+                link_offset,
+                link_down: (0..total_links).map(|_| AtomicBool::new(false)).collect(),
+                router_down: (0..num_nodes).map(|_| AtomicBool::new(false)).collect(),
+            }
+        });
+
         let shards = (0..plan.count())
             .map(|s| {
                 Mutex::new(ShardState {
@@ -370,6 +492,7 @@ impl ShardedSimulator {
                 occupancy,
                 occ_offset,
                 done: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
+                fault,
             },
             serial: SerialState {
                 cycle: 0,
@@ -377,6 +500,7 @@ impl ShardedSimulator {
                 stats: SimulationStats::default(),
                 in_flight: Vec::new(),
                 pending_replies: BinaryHeap::new(),
+                fault_repairs: Vec::new(),
             },
         })
     }
@@ -653,7 +777,8 @@ fn step(
     Ok(())
 }
 
-/// Serial phases 1–3: traffic injection, reply release, link arrivals.
+/// Serial phases 0–3: fault boundary, traffic injection, reply release,
+/// link arrivals.
 fn pre_route_phases(
     shared: &Shared,
     serial: &mut SerialState,
@@ -663,30 +788,48 @@ fn pre_route_phases(
     let cycle = serial.cycle;
     let measuring = cycle >= shared.config.warmup_cycles;
 
+    // 0. Fault boundary: deterministic repairs, then this cycle's fault
+    //    wave (a no-op without a configured plan).
+    apply_fault_boundary(shared, serial, guards);
+
     // 1. New injections from the traffic model, in node order (the traffic
-    //    model's RNG stream is consumed in this exact order).
+    //    model's RNG stream is consumed in this exact order). A fault-gated
+    //    source still draws from the model — its stream stays a pure
+    //    function of the cycle — but the produced request is lost.
     for node in 0..shared.num_nodes {
         if !shared.active[node] {
             continue;
         }
         if let Some(request) = traffic.maybe_inject(cycle, NodeId::new(node)) {
+            if shared.router_faulted(node) {
+                serial.stats.dropped_packets += 1;
+                continue;
+            }
             enqueue_request(shared, serial, guards, node, request, cycle, measuring)?;
         }
     }
 
-    // 2. Replies whose DRAM service completed become injectable.
+    // 2. Replies whose DRAM service completed become injectable; a reply
+    //    releasing at a fault-gated node is lost.
     while let Some(top) = serial.pending_replies.peek() {
         if top.ready_cycle > cycle {
             break;
         }
         let reply = serial.pending_replies.pop().expect("peeked");
+        if shared.router_faulted(reply.node) {
+            serial.stats.dropped_packets += 1;
+            continue;
+        }
         let (shard, slot) = shared.plan.locate(reply.node);
         guards[shard].routers[slot]
             .injection
             .push_back(reply.packet);
     }
 
-    // 3. Deliver packets finishing their link traversal.
+    // 3. Deliver packets finishing their link traversal. (Fault drops purge
+    //    in-flight entries at the boundary, so arrivals at a dead resource
+    //    cannot normally happen; the check is defensive and keeps the
+    //    credit counters consistent either way.)
     let mut arrived = Vec::new();
     serial.in_flight.retain(|f| {
         if f.arrival_cycle <= cycle {
@@ -697,10 +840,129 @@ fn pre_route_phases(
         }
     });
     for f in arrived {
+        if shared.router_faulted(f.to_node) || shared.link_faulted(f.to_node, f.from_index) {
+            shared
+                .occ(f.to_node, f.from_index, f.vc)
+                .fetch_sub(1, Ordering::Relaxed);
+            serial.stats.dropped_packets += 1;
+            continue;
+        }
         let (shard, slot) = shared.plan.locate(f.to_node);
         guards[shard].routers[slot].queues[f.from_index][f.vc].push_back(f.packet);
     }
     Ok(())
+}
+
+/// Applies the fault schedule at one cycle boundary: first the repairs that
+/// have come due (in strike order), then the wave striking at this cycle, if
+/// any. Runs on the coordinating thread while the workers are parked, so the
+/// liveness flags it writes are constant throughout the routing phase.
+fn apply_fault_boundary(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &mut [MutexGuard<'_, ShardState>],
+) {
+    let Some(fault) = &shared.fault else {
+        return;
+    };
+    let cycle = serial.cycle;
+
+    // Repairs due at or before this boundary.
+    let mut i = 0;
+    while i < serial.fault_repairs.len() {
+        if serial.fault_repairs[i].at > cycle {
+            i += 1;
+            continue;
+        }
+        match serial.fault_repairs.remove(i).victim {
+            FaultVictim::Edge(e) => {
+                for &(to, idx) in &fault.edges[e].slots {
+                    fault.link_down[fault.link_offset[to] + idx].store(false, Ordering::Relaxed);
+                }
+            }
+            FaultVictim::Router(m) => fault.router_down[m].store(false, Ordering::Relaxed),
+        }
+    }
+
+    let Some(wave) = fault.plan.wave_at(cycle) else {
+        return;
+    };
+
+    // Link-down victims: draws that land on an already-dead link are
+    // forfeited (the wave strikes *up to* `links_per_wave` links), which
+    // keeps every draw a pure function of (seed, wave, draw).
+    for k in 0..fault.plan.links_per_wave {
+        if fault.edges.is_empty() {
+            break;
+        }
+        let e = (fault.plan.draw(wave, 0, k as u64) % fault.edges.len() as u64) as usize;
+        let (to0, idx0) = fault.edges[e].slots[0];
+        if fault.link_down[fault.link_offset[to0] + idx0].load(Ordering::Relaxed) {
+            continue;
+        }
+        for &(to, idx) in &fault.edges[e].slots {
+            fault.link_down[fault.link_offset[to] + idx].store(true, Ordering::Relaxed);
+        }
+        serial.stats.link_down_events += 1;
+        drop_in_flight(shared, serial, |f| {
+            fault.edges[e]
+                .slots
+                .iter()
+                .any(|&(to, idx)| f.to_node == to && f.from_index == idx)
+        });
+        serial.fault_repairs.push(FaultRepair {
+            at: cycle + fault.plan.repair_cycles,
+            victim: FaultVictim::Edge(e),
+        });
+    }
+
+    // Router power-gate victims. Draws landing on an inactive (statically
+    // gated) or already-down router are likewise forfeited.
+    for k in 0..fault.plan.routers_per_wave {
+        let m = (fault.plan.draw(wave, 1, k as u64) % shared.num_nodes as u64) as usize;
+        if !shared.active[m] || fault.router_down[m].load(Ordering::Relaxed) {
+            continue;
+        }
+        fault.router_down[m].store(true, Ordering::Relaxed);
+        serial.stats.router_down_events += 1;
+        // Everything queued at the gated router is lost; credits return to
+        // the senders so the links are clean after the repair.
+        let (shard, slot) = shared.plan.locate(m);
+        let router = &mut guards[shard].routers[slot];
+        for (idx, per_vc) in router.queues.iter_mut().enumerate() {
+            for (vc, queue) in per_vc.iter_mut().enumerate() {
+                while queue.pop_front().is_some() {
+                    shared.occ(m, idx, vc).fetch_sub(1, Ordering::Relaxed);
+                    serial.stats.dropped_packets += 1;
+                }
+            }
+        }
+        serial.stats.dropped_packets += router.injection.len() as u64;
+        router.injection.clear();
+        drop_in_flight(shared, serial, |f| f.to_node == m);
+        serial.fault_repairs.push(FaultRepair {
+            at: cycle + fault.plan.repair_cycles,
+            victim: FaultVictim::Router(m),
+        });
+    }
+}
+
+/// Drops every in-flight packet matching `doomed`, returning its credit and
+/// counting it as fault-dropped.
+fn drop_in_flight(shared: &Shared, serial: &mut SerialState, doomed: impl Fn(&InFlight) -> bool) {
+    let mut in_flight = std::mem::take(&mut serial.in_flight);
+    in_flight.retain(|f| {
+        if doomed(f) {
+            shared
+                .occ(f.to_node, f.from_index, f.vc)
+                .fetch_sub(1, Ordering::Relaxed);
+            serial.stats.dropped_packets += 1;
+            false
+        } else {
+            true
+        }
+    });
+    serial.in_flight = in_flight;
 }
 
 fn enqueue_request(
@@ -725,6 +987,13 @@ fn enqueue_request(
         return Err(SfError::Simulation {
             reason: format!("traffic model targeted gated node {dest}"),
         });
+    }
+    // A transiently fault-gated destination is not an error (unlike static
+    // gating above, the traffic model cannot know about it): the request is
+    // simply lost at the source.
+    if shared.router_faulted(dest.index()) {
+        serial.stats.dropped_packets += 1;
+        return Ok(());
     }
     let kind = if shared.request_reply {
         if request.write {
@@ -777,7 +1046,9 @@ fn shard_routing_phase(
         let mut failed: Option<(usize, SfError)> = None;
         for idx in 0..state.routers.len() {
             let node = state.routers[idx].node;
-            if shared.active[node] && failed.is_none() {
+            // A fault-gated router skips its routing step (its queues were
+            // drained when it went down) but still publishes its epoch.
+            if shared.active[node] && !shared.router_faulted(node) && failed.is_none() {
                 for &dep in shared.plan.wait_for(node) {
                     let mut spins = 0u32;
                     while shared.done[dep].load(Ordering::Acquire) < epoch {
@@ -966,6 +1237,11 @@ fn try_forward(
     let vc = vc.min(shared.config.virtual_channels - 1);
     // Credit check on the downstream input queue.
     let down_idx = shared.neighbor_index[next.index()][&node];
+    // A dead next hop or dead link blocks the forward; the packet waits for
+    // the repair (or for adaptive routing to pick another port next cycle).
+    if shared.router_faulted(next.index()) || shared.link_faulted(next.index(), down_idx) {
+        return Ok(false);
+    }
     if shared
         .occ(next.index(), down_idx, vc)
         .load(Ordering::Relaxed)
@@ -1240,6 +1516,94 @@ mod tests {
         assert_eq!(s.current_cycle(), 0);
         let dbg = format!("{s:?}");
         assert!(dbg.contains("ShardedSimulator"));
+    }
+
+    fn faulty_sim(nodes: usize, shards: usize, plan: FaultPlan) -> ShardedSimulator {
+        let topo =
+            StringFigureTopology::generate(&NetworkConfig::new(nodes, 4).unwrap().with_seed(2))
+                .unwrap();
+        ShardedSimulator::new(
+            topo.graph().clone(),
+            Box::new(GreediestRouting::new(&topo)),
+            SystemConfig::default(),
+            SimulationConfig {
+                max_cycles: 1_500,
+                warmup_cycles: 150,
+                shards,
+                fault: Some(plan),
+                ..SimulationConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn storm_plan() -> FaultPlan {
+        FaultPlan::new(5)
+            .starting_at(200)
+            .with_period(150)
+            .with_severity(2, 1)
+            .with_repair_cycles(60)
+    }
+
+    #[test]
+    fn fault_waves_strike_drop_and_repair() {
+        let run = || {
+            faulty_sim(48, 1, storm_plan())
+                .with_request_reply(true)
+                .run(&mut UniformRandomTraffic::new(48, 0.05, 9))
+                .unwrap()
+        };
+        let stats = run();
+        assert!(stats.link_down_events > 0, "{stats:?}");
+        assert!(stats.router_down_events > 0, "{stats:?}");
+        assert!(stats.dropped_packets > 0, "{stats:?}");
+        assert!(stats.delivered > 0, "the network must keep working");
+        assert_eq!(
+            stats.fault_events(),
+            stats.link_down_events + stats.router_down_events
+        );
+        // The schedule is a pure function of the plan: a rerun is identical.
+        assert_eq!(run(), stats);
+    }
+
+    #[test]
+    fn fault_runs_are_bit_identical_for_any_shard_count() {
+        let run = |shards: usize| {
+            let mut sim = faulty_sim(48, shards, storm_plan()).with_request_reply(true);
+            let stats = sim
+                .run(&mut UniformRandomTraffic::new(48, 0.06, 13))
+                .unwrap();
+            (stats, sim.memory_stats())
+        };
+        let reference = run(1);
+        assert!(reference.0.fault_events() > 0);
+        for shards in [2usize, 4, 7] {
+            assert_eq!(run(shards), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn severity_zero_plan_matches_the_healthy_network() {
+        let healthy = sim(32, 1, 1_200)
+            .run(&mut UniformRandomTraffic::new(32, 0.06, 3))
+            .unwrap();
+        let idle_plan = FaultPlan::new(5).with_severity(0, 0);
+        let topo = StringFigureTopology::generate(&NetworkConfig::new(32, 4).unwrap()).unwrap();
+        let planned = ShardedSimulator::new(
+            topo.graph().clone(),
+            Box::new(GreediestRouting::new(&topo)),
+            SystemConfig::default(),
+            SimulationConfig {
+                max_cycles: 1_200,
+                warmup_cycles: 120,
+                fault: Some(idle_plan),
+                ..SimulationConfig::default()
+            },
+        )
+        .unwrap()
+        .run(&mut UniformRandomTraffic::new(32, 0.06, 3))
+        .unwrap();
+        assert_eq!(planned, healthy);
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct SimulationStats {
     /// Forwarding decisions that could not be made because the output was
     /// busy or had no credit (a congestion indicator).
     pub blocked_forwards: u64,
+    /// Packets lost to fault injection: queued at a router when it was
+    /// power-gated, in flight on a link when it failed, released or injected
+    /// towards a fault-down node. Always zero without a fault plan.
+    pub dropped_packets: u64,
+    /// Undirected link-down fault events applied over the run.
+    pub link_down_events: u64,
+    /// Router power-gate fault events applied over the run.
+    pub router_down_events: u64,
 }
 
 impl SimulationStats {
@@ -95,6 +103,12 @@ impl SimulationStats {
         }
     }
 
+    /// Total fault events applied (link-down plus router power-gate).
+    #[must_use]
+    pub fn fault_events(&self) -> u64 {
+        self.link_down_events + self.router_down_events
+    }
+
     /// Total dynamic energy (network plus DRAM), in picojoules.
     #[must_use]
     pub fn total_energy_pj(&self) -> f64 {
@@ -146,6 +160,9 @@ mod tests {
             in_flight_at_end: 10,
             backlog_at_end: 0,
             blocked_forwards: 5,
+            dropped_packets: 0,
+            link_down_events: 0,
+            router_down_events: 0,
         }
     }
 
@@ -181,6 +198,17 @@ mod tests {
         s.backlog_at_end = 0;
         s.delivered = 50;
         assert!(s.is_saturated());
+    }
+
+    #[test]
+    fn fault_counters_default_to_zero() {
+        let s = SimulationStats::default();
+        assert_eq!(s.dropped_packets, 0);
+        assert_eq!(s.fault_events(), 0);
+        let mut f = stats();
+        f.link_down_events = 3;
+        f.router_down_events = 2;
+        assert_eq!(f.fault_events(), 5);
     }
 
     #[test]

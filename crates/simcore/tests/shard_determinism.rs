@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use sf_routing::GreediestRouting;
 use sf_simcore::{ShardedSimulator, SimulationStats, UniformRandomTraffic};
 use sf_topology::StringFigureTopology;
-use sf_types::{NetworkConfig, SimulationConfig, SystemConfig};
+use sf_types::{FaultPlan, NetworkConfig, SimulationConfig, SystemConfig};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
@@ -77,6 +77,63 @@ proptest! {
                 u64::from(traffic_seed),
                 request_reply,
             );
+            prop_assert_eq!(&sharded.0, &reference.0, "shards={}", shards);
+            prop_assert_eq!(&sharded.1, &reference.1, "shards={}", shards);
+        }
+    }
+
+    /// Fault injection extends the contract: for random `FaultPlan`s —
+    /// arbitrary seeds, wave periods, severities, and repair latencies,
+    /// with and without request-reply memory traffic — K ∈ {1, 2, 4, 7}
+    /// still produces byte-identical statistics (fault and drop counters
+    /// included) and identical DRAM model state.
+    #[test]
+    fn prop_fault_injection_preserves_shard_independence(
+        nodes in 24usize..64,
+        topo_seed in any::<u16>(),
+        rate_milli in 20u64..250,
+        fault_seed in any::<u16>(),
+        period in 40u64..200,
+        links_per_wave in 1usize..4,
+        routers_per_wave in 0usize..3,
+        repair in 20u64..150,
+        request_reply in any::<bool>(),
+    ) {
+        let config = NetworkConfig::new(nodes, 4)
+            .unwrap()
+            .with_seed(u64::from(topo_seed));
+        let topo = StringFigureTopology::generate(&config).unwrap();
+        let plan = FaultPlan::new(u64::from(fault_seed))
+            .starting_at(150)
+            .with_period(period)
+            .with_severity(links_per_wave, routers_per_wave)
+            .with_repair_cycles(repair);
+        let rate = rate_milli as f64 / 1000.0;
+        let run = |shards: usize| {
+            let mut sim = ShardedSimulator::new(
+                topo.graph().clone(),
+                Box::new(GreediestRouting::new(&topo)),
+                SystemConfig::default(),
+                SimulationConfig {
+                    max_cycles: 900,
+                    warmup_cycles: 150,
+                    shards,
+                    fault: Some(plan),
+                    ..SimulationConfig::default()
+                },
+            )
+            .unwrap()
+            .with_request_reply(request_reply);
+            let stats = sim
+                .run(&mut UniformRandomTraffic::new(nodes, rate, u64::from(fault_seed) ^ 0x55))
+                .unwrap();
+            (stats, sim.memory_stats())
+        };
+        let reference = run(1);
+        prop_assert!(reference.0.injected > 0);
+        prop_assert!(reference.0.fault_events() > 0, "plan never struck");
+        for &shards in &SHARD_COUNTS[1..] {
+            let sharded = run(shards);
             prop_assert_eq!(&sharded.0, &reference.0, "shards={}", shards);
             prop_assert_eq!(&sharded.1, &reference.1, "shards={}", shards);
         }

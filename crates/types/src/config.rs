@@ -7,6 +7,7 @@
 //! [`SimulationConfig`] captures the knobs of the cycle-level simulator.
 
 use crate::error::{SfError, SfResult};
+use crate::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// DRAM timing parameters of one memory node, in nanoseconds (Table I).
@@ -350,6 +351,12 @@ pub struct SimulationConfig {
     /// worker pool already claimed). Results are bit-identical for any value
     /// — this knob only trades wall-clock time, never output.
     pub shards: usize,
+    /// Optional deterministic fault-injection plan (link-down and router
+    /// power-gate waves). `None` — the default — is the healthy network and
+    /// is guaranteed behaviour-identical to a simulator without any fault
+    /// machinery; `Some` plans are pure functions of `(seed, cycle)`, so the
+    /// shard-count bit-identity contract extends to faulty runs.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimulationConfig {
@@ -365,6 +372,7 @@ impl Default for SimulationConfig {
             warmup_cycles: 1_000,
             seed: 0xabcd_1234,
             shards: 0,
+            fault: None,
         }
     }
 }
@@ -375,6 +383,14 @@ impl SimulationConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Returns a copy of this configuration with a fault-injection plan
+    /// (`None` restores the healthy network).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -408,6 +424,9 @@ impl SimulationConfig {
             return Err(SfError::InvalidConfiguration {
                 reason: "warm-up must be shorter than the total simulated cycles".to_string(),
             });
+        }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
         }
         Ok(())
     }
@@ -521,5 +540,16 @@ mod tests {
         let mut c = SimulationConfig::default();
         c.warmup_cycles = c.max_cycles;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn fault_plan_threads_through_simulation_config() {
+        let c = SimulationConfig::default();
+        assert!(c.fault.is_none());
+        let faulty = c.clone().with_fault(Some(FaultPlan::new(3)));
+        assert!(faulty.validate().is_ok());
+        assert_eq!(faulty.fault.unwrap().seed, 3);
+        let invalid = c.with_fault(Some(FaultPlan::new(3).with_period(0)));
+        assert!(invalid.validate().is_err());
     }
 }

@@ -20,6 +20,9 @@
 //! * [`config`] — the paper's Table I system configuration (DRAM timing,
 //!   link bandwidth, SerDes latency, energy-per-bit constants) plus network
 //!   construction and simulation parameters.
+//! * [`fault`] — deterministic fault-injection plans: link-down and router
+//!   power-gate schedules that are pure functions of `(seed, cycle)`, so
+//!   fault scenarios preserve the simulator's shard-count bit-identity.
 //! * [`rng`] — a small, fully deterministic xoshiro256** generator used for
 //!   reproducible topology generation and workload synthesis.
 //! * [`error`] — the shared [`SfError`](error::SfError) error type.
@@ -42,6 +45,7 @@
 pub mod config;
 pub mod coord;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 
@@ -50,5 +54,6 @@ pub use coord::{
     circular_distance, minimum_circular_distance, Coordinate, CoordinateVector, QuantizedCoord,
 };
 pub use error::{SfError, SfResult};
+pub use fault::FaultPlan;
 pub use ids::{NodeId, PortId, SpaceId, VirtualChannelId};
 pub use rng::DeterministicRng;

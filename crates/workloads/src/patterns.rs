@@ -14,9 +14,20 @@
 //! | nearest neighbour   | `src + 1`                                          |
 //! | complement          | `src XOR (N-1)` (bit complement)                   |
 //! | partition-2         | random destination within the source's half        |
+//!
+//! Beyond Table III, three **adversarial** patterns stress the network in
+//! ways the paper's evaluation never does (see
+//! [`SyntheticPattern::ADVERSARIAL`]):
+//!
+//! | pattern        | behaviour                                                |
+//! |----------------|----------------------------------------------------------|
+//! | hotspot storm  | all nodes converge on one victim that rotates every `storm_period` cycles |
+//! | bursty on/off  | double-rate injection during "on" windows, silence during "off" windows |
+//! | bit reversal   | worst-case static permutation: `rev_bits(src)` within `ceil(log2 N)` bits |
 
 use serde::{Deserialize, Serialize};
 use sf_netsim::{TrafficModel, TrafficRequest};
+use sf_types::rng::splitmix64;
 use sf_types::{DeterministicRng, NodeId};
 use std::fmt;
 
@@ -38,6 +49,17 @@ pub enum SyntheticPattern {
     /// The network is split into two halves; nodes send to random nodes within
     /// their half.
     Partition2,
+    /// Adversarial: every node targets one victim node, and the victim
+    /// rotates pseudo-randomly every storm period — a moving congestion
+    /// singularity no static provisioning can absorb.
+    HotspotStorm,
+    /// Adversarial: traffic arrives in on/off bursts — double the configured
+    /// rate during "on" windows, silence during "off" windows — so queues
+    /// see the worst transient load a given average rate can produce.
+    BurstyOnOff,
+    /// Adversarial: the bit-reversal permutation (`rev_bits(src)` within
+    /// `ceil(log2 N)` bits), a classic worst case for minimal routing.
+    BitReversal,
 }
 
 impl SyntheticPattern {
@@ -52,11 +74,23 @@ impl SyntheticPattern {
         Self::Partition2,
     ];
 
+    /// The three adversarial patterns that go beyond the paper's Table III.
+    pub const ADVERSARIAL: [Self; 3] = [Self::HotspotStorm, Self::BurstyOnOff, Self::BitReversal];
+
     /// Whether destinations depend on random draws (as opposed to being a
-    /// pure function of the source).
+    /// pure function of the source and cycle).
     #[must_use]
     pub fn is_random(self) -> bool {
-        matches!(self, Self::UniformRandom | Self::Partition2)
+        matches!(
+            self,
+            Self::UniformRandom | Self::Partition2 | Self::BurstyOnOff
+        )
+    }
+
+    /// Whether this is one of the adversarial (non-Table III) patterns.
+    #[must_use]
+    pub fn is_adversarial(self) -> bool {
+        Self::ADVERSARIAL.contains(&self)
     }
 
     /// Short name used in experiment output.
@@ -70,15 +104,21 @@ impl SyntheticPattern {
             Self::NearestNeighbor => "neighbor",
             Self::Complement => "complement",
             Self::Partition2 => "partition2",
+            Self::HotspotStorm => "hotspot_storm",
+            Self::BurstyOnOff => "bursty_onoff",
+            Self::BitReversal => "bit_reversal",
         }
     }
 
     /// The pattern whose [`name`](Self::name) is `name`, if any — the inverse
     /// of the experiment-output rendering, used when restoring checkpointed
-    /// rows.
+    /// rows. Covers both the Table III and the adversarial patterns.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|p| p.name() == name)
+        Self::ALL
+            .into_iter()
+            .chain(Self::ADVERSARIAL)
+            .find(|p| p.name() == name)
     }
 }
 
@@ -96,6 +136,8 @@ pub struct PatternTraffic {
     num_nodes: usize,
     injection_rate: f64,
     hotspot_target: usize,
+    storm_period: u64,
+    burst_period: u64,
     rng: DeterministicRng,
 }
 
@@ -119,6 +161,8 @@ impl PatternTraffic {
             num_nodes,
             injection_rate: injection_rate.clamp(0.0, 1.0),
             hotspot_target: 0,
+            storm_period: 128,
+            burst_period: 64,
             rng: DeterministicRng::new(seed),
         }
     }
@@ -127,6 +171,31 @@ impl PatternTraffic {
     #[must_use]
     pub fn with_hotspot_target(mut self, target: NodeId) -> Self {
         self.hotspot_target = target.index() % self.num_nodes;
+        self
+    }
+
+    /// Changes how many cycles a hotspot-storm victim reigns before the
+    /// storm moves on (default 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_storm_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "storm period must be at least one cycle");
+        self.storm_period = period;
+        self
+    }
+
+    /// Changes the on/off window length of the bursty pattern (default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn with_burst_period(mut self, period: u64) -> Self {
+        assert!(period > 0, "burst period must be at least one cycle");
+        self.burst_period = period;
         self
     }
 
@@ -143,8 +212,16 @@ impl PatternTraffic {
     }
 
     /// The destination the pattern maps `source` to (drawing random numbers
-    /// for the random patterns).
+    /// for the random patterns). Cycle-driven patterns behave as at cycle 0;
+    /// use [`destination_at`](Self::destination_at) for those.
     pub fn destination(&mut self, source: NodeId) -> NodeId {
+        self.destination_at(0, source)
+    }
+
+    /// The destination the pattern maps `source` to at `cycle`. Only the
+    /// adversarial patterns depend on the cycle; for the Table III patterns
+    /// this is identical to [`destination`](Self::destination).
+    pub fn destination_at(&mut self, cycle: u64, source: NodeId) -> NodeId {
         let n = self.num_nodes;
         let src = source.index();
         let dest = match self.pattern {
@@ -164,17 +241,51 @@ impl PatternTraffic {
                 let within = self.rng.next_index(half);
                 (group * half + within).min(n - 1)
             }
+            SyntheticPattern::HotspotStorm => {
+                // The victim is a pure function of the storm epoch — every
+                // node agrees on it without consuming any RNG stream.
+                let epoch = cycle / self.storm_period;
+                (splitmix64(epoch) as usize) % n
+            }
+            SyntheticPattern::BurstyOnOff => self.rng.next_index(n),
+            SyntheticPattern::BitReversal => {
+                let bits = usize::BITS - (n - 1).leading_zeros();
+                if bits == 0 {
+                    0
+                } else {
+                    ((src as u64).reverse_bits() >> (64 - bits)) as usize % n
+                }
+            }
         };
         NodeId::new(dest % n)
+    }
+
+    /// Whether a bursty-pattern node may inject at `cycle` (always true for
+    /// the other patterns).
+    #[must_use]
+    pub fn burst_window_open(&self, cycle: u64) -> bool {
+        self.pattern != SyntheticPattern::BurstyOnOff
+            || (cycle / self.burst_period).is_multiple_of(2)
     }
 }
 
 impl TrafficModel for PatternTraffic {
-    fn maybe_inject(&mut self, _cycle: u64, source: NodeId) -> Option<TrafficRequest> {
-        if !self.rng.next_bool(self.injection_rate) {
+    fn maybe_inject(&mut self, cycle: u64, source: NodeId) -> Option<TrafficRequest> {
+        // Bursty traffic concentrates its average load into the "on"
+        // windows: silence off-window (no RNG consumed — the decision is a
+        // pure function of the cycle), double rate on-window.
+        let rate = if self.pattern == SyntheticPattern::BurstyOnOff {
+            if !self.burst_window_open(cycle) {
+                return None;
+            }
+            (self.injection_rate * 2.0).min(1.0)
+        } else {
+            self.injection_rate
+        };
+        if !self.rng.next_bool(rate) {
             return None;
         }
-        let mut dest = self.destination(source);
+        let mut dest = self.destination_at(cycle, source);
         if dest == source {
             // Self-traffic exercises nothing in the network; redirect to the
             // successor as the nearest meaningful destination.
@@ -267,7 +378,10 @@ mod tests {
 
     #[test]
     fn injected_requests_never_target_self() {
-        for pattern in SyntheticPattern::ALL {
+        for pattern in SyntheticPattern::ALL
+            .into_iter()
+            .chain(SyntheticPattern::ADVERSARIAL)
+        {
             let mut t = PatternTraffic::new(pattern, 9, 1.0, 2);
             for cycle in 0..50 {
                 for src in 0..9 {
@@ -278,6 +392,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hotspot_storm_rotates_a_shared_victim() {
+        let mut s =
+            PatternTraffic::new(SyntheticPattern::HotspotStorm, 64, 1.0, 1).with_storm_period(100);
+        // Within one storm epoch every node targets the same victim.
+        let victim = s.destination_at(0, n(0));
+        for src in 1..64 {
+            assert_eq!(s.destination_at(50, n(src)), victim);
+        }
+        // Over many epochs the victim moves around the network.
+        let mut victims: Vec<usize> = (0..40)
+            .map(|epoch| s.destination_at(epoch * 100, n(0)).index())
+            .collect();
+        victims.dedup();
+        assert!(victims.len() > 5, "storm never moved: {victims:?}");
+    }
+
+    #[test]
+    fn bursty_onoff_is_silent_off_window_and_loud_on_window() {
+        let mut b =
+            PatternTraffic::new(SyntheticPattern::BurstyOnOff, 16, 0.5, 3).with_burst_period(10);
+        let mut on = 0usize;
+        let mut off = 0usize;
+        for cycle in 0..200 {
+            let injected = b.maybe_inject(cycle, n(1)).is_some();
+            if (cycle / 10) % 2 == 0 {
+                on += usize::from(injected);
+            } else {
+                assert!(!injected, "cycle {cycle} is an off window");
+                off += usize::from(injected);
+            }
+        }
+        assert!(on > 50, "on windows should carry double rate, got {on}");
+        assert_eq!(off, 0);
+        assert!(b.burst_window_open(5));
+        assert!(!b.burst_window_open(15));
+    }
+
+    #[test]
+    fn bit_reversal_is_an_involution_on_powers_of_two() {
+        let mut p = PatternTraffic::new(SyntheticPattern::BitReversal, 16, 1.0, 1);
+        assert_eq!(p.destination(n(1)), n(8));
+        assert_eq!(p.destination(n(8)), n(1));
+        assert_eq!(p.destination(n(3)), n(12));
+        assert_eq!(p.destination(n(0)), n(0));
+        // Non-power-of-two sizes stay within range.
+        let mut q = PatternTraffic::new(SyntheticPattern::BitReversal, 11, 1.0, 1);
+        for src in 0..11 {
+            assert!(q.destination(n(src)).index() < 11);
+        }
+    }
+
+    #[test]
+    fn adversarial_metadata_and_names_round_trip() {
+        assert_eq!(SyntheticPattern::ADVERSARIAL.len(), 3);
+        for pattern in SyntheticPattern::ADVERSARIAL {
+            assert!(pattern.is_adversarial());
+            assert_eq!(SyntheticPattern::from_name(pattern.name()), Some(pattern));
+        }
+        for pattern in SyntheticPattern::ALL {
+            assert!(!pattern.is_adversarial());
+            assert_eq!(SyntheticPattern::from_name(pattern.name()), Some(pattern));
+        }
+        assert!(SyntheticPattern::BurstyOnOff.is_random());
+        assert!(!SyntheticPattern::HotspotStorm.is_random());
+        assert!(!SyntheticPattern::BitReversal.is_random());
+        assert_eq!(SyntheticPattern::from_name("nope"), None);
     }
 
     #[test]
