@@ -69,6 +69,60 @@ if [[ "${1:-}" != "--quick" ]]; then
     rm -f "$resume_csv" "$clean_csv" "$resume_csv.journal"
     echo "==> resumed artifact byte-identical to a clean run"
 
+    # Streaming mega-sweep smoke: the bounded-memory pipeline end to end.
+    # A serial uninterrupted run is the reference; a 2-worker run with a
+    # tiny --max-journal-bytes (forcing >= 1 journal compaction), killed
+    # mid-sweep and resumed with the same command, must emit byte-identical
+    # rows. Peak RSS of the reference run is logged as a coarse memory
+    # regression signal for the streaming path.
+    echo "==> sfbench run megasweep --quick streaming smoke (compaction + kill + resume)"
+    mega_serial_csv="$(mktemp)"
+    mega_resume_csv="$(mktemp)"
+    rm -f "$mega_resume_csv.journal"
+    if [[ -x /usr/bin/time ]]; then
+        SF_HARNESS_THREADS=1 /usr/bin/time -v \
+            "$sfbench" run megasweep --quick --no-resume --csv "$mega_serial_csv" \
+            >/dev/null 2>"$mega_serial_csv.time"
+        grep -i "maximum resident" "$mega_serial_csv.time" \
+            | sed 's/^[[:space:]]*/    megasweep --quick peak RSS: /' || true
+        rm -f "$mega_serial_csv.time"
+    else
+        # No GNU time: poll the kernel's own high-water mark (VmHWM) while
+        # the run executes; the last sample IS the peak.
+        SF_HARNESS_THREADS=1 \
+            "$sfbench" run megasweep --quick --no-resume --csv "$mega_serial_csv" \
+            >/dev/null 2>&1 &
+        rss_pid=$!
+        peak_kb=0
+        while kill -0 "$rss_pid" 2>/dev/null; do
+            cur=$(awk '/VmHWM/ {print $2}' "/proc/$rss_pid/status" 2>/dev/null || true)
+            [[ -n "${cur:-}" ]] && (( cur > peak_kb )) && peak_kb=$cur
+            sleep 0.02
+        done
+        wait "$rss_pid"
+        echo "    megasweep --quick peak RSS: ${peak_kb} kB"
+    fi
+    SF_HARNESS_THREADS=2 "$sfbench" run megasweep --quick \
+        --csv "$mega_resume_csv" --max-journal-bytes 256 >/dev/null 2>&1 &
+    mega_pid=$!
+    for _ in $(seq 1 1500); do
+        if [[ -f "$mega_resume_csv.journal" ]] \
+            && (( $(wc -l < "$mega_resume_csv.journal") >= 2 )); then
+            break
+        fi
+        sleep 0.01
+    done
+    kill -9 "$mega_pid" 2>/dev/null || true
+    wait "$mega_pid" 2>/dev/null || true
+    if [[ ! -f "$mega_resume_csv.journal" ]]; then
+        echo "    note: run finished before the kill; resume path not exercised this time"
+    fi
+    SF_HARNESS_THREADS=2 "$sfbench" run megasweep --quick \
+        --csv "$mega_resume_csv" --max-journal-bytes 256 >/dev/null
+    cmp "$mega_serial_csv" "$mega_resume_csv"
+    rm -f "$mega_serial_csv" "$mega_resume_csv" "$mega_resume_csv.journal"
+    echo "==> mega-sweep artifacts byte-identical (serial vs interrupted+compacted+resumed)"
+
     # Extended-scenario smoke: the fault-injection study must uphold the
     # same determinism contract — a 2-worker x 2-shard run of a faulty
     # network produces bytes identical to the fully serial run.

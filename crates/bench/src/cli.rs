@@ -23,7 +23,8 @@
 //! final CSV is byte-identical to an uninterrupted run. The journal is
 //! removed once the artifact is written. `--no-resume` disables the journal;
 //! `--checkpoint PATH` picks an explicit journal location (works without
-//! `--csv` too).
+//! `--csv` too); `--max-journal-bytes N` compacts an oversized append log
+//! to a kill-safe snapshot in place (mega-sweep hygiene).
 
 use stringfigure::study::{execute, print_result_table, RunContext, Study, StudyRegistry};
 
@@ -31,7 +32,13 @@ use stringfigure::study::{execute, print_result_table, RunContext, Study, StudyR
 pub const RUN_BOOL_FLAGS: &[&str] = &["--quick", "--no-resume"];
 
 /// Value-carrying flags `sfbench run` (and the shim binaries) accept.
-pub const RUN_VALUE_FLAGS: &[&str] = &["--shards", "--csv", "--json", "--checkpoint"];
+pub const RUN_VALUE_FLAGS: &[&str] = &[
+    "--shards",
+    "--csv",
+    "--json",
+    "--checkpoint",
+    "--max-journal-bytes",
+];
 
 /// Parsed command-line arguments: the one flag-parsing code path shared by
 /// `sfbench`, the shim binaries, and the legacy `sf_bench::arg_value`
@@ -61,30 +68,34 @@ impl CliArgs {
     }
 
     /// The value of flag `name`, accepting both `--flag value` and
-    /// `--flag=value`.
+    /// `--flag=value`. A flag given more than once takes the **last** value,
+    /// whichever form each occurrence uses — standard CLI override
+    /// semantics, so a wrapper script's default can be overridden by
+    /// appending.
     ///
     /// A missing value — `--flag` as the last argument, or directly followed
-    /// by another `--flag` — is reported on stderr and treated as absent
-    /// rather than silently consuming the next flag as a value.
+    /// by another `--flag` — is reported on stderr and that occurrence is
+    /// ignored (an earlier valid occurrence still wins) rather than silently
+    /// consuming the next flag as a value.
     #[must_use]
     pub fn value(&self, name: &str) -> Option<String> {
         let prefix = format!("{name}=");
-        let mut args = self.raw.iter();
+        let mut found: Option<String> = None;
+        let mut args = self.raw.iter().peekable();
         while let Some(arg) = args.next() {
             if let Some(value) = arg.strip_prefix(&prefix) {
-                return Some(value.to_string());
-            }
-            if arg == name {
-                return match args.next() {
-                    Some(value) if !value.starts_with("--") => Some(value.clone()),
-                    _ => {
-                        eprintln!("# warning: {name} requires a value; flag ignored");
-                        None
+                found = Some(value.to_string());
+            } else if arg == name {
+                match args.peek() {
+                    Some(value) if !value.starts_with("--") => {
+                        found = Some((*value).clone());
+                        args.next();
                     }
-                };
+                    _ => eprintln!("# warning: {name} requires a value; flag occurrence ignored"),
+                }
             }
         }
-        None
+        found
     }
 
     /// [`value`](Self::value) parsed as a `usize`; unparsable values are
@@ -155,6 +166,18 @@ fn context_from_args(args: &CliArgs) -> RunContext {
     } else if let (Some(csv), false) = (&csv, args.flag("--no-resume")) {
         ctx = ctx.with_checkpoint(format!("{csv}.journal"));
     }
+    if let Some(bytes) = args.usize_value("--max-journal-bytes") {
+        if ctx.checkpoint_path().is_none() {
+            // Without --csv or --checkpoint no journal ever opens, so the
+            // cap would be silently inert — tell the user instead.
+            eprintln!(
+                "# warning: --max-journal-bytes has no effect without a checkpoint journal \
+                 (add --csv or --checkpoint, and drop --no-resume)"
+            );
+        } else {
+            ctx = ctx.with_max_journal_bytes(bytes as u64);
+        }
+    }
     ctx
 }
 
@@ -210,6 +233,7 @@ fn print_usage() {
          \x20 --json PATH              write the result table as JSON\n\
          \x20 --checkpoint PATH        journal completed jobs at PATH\n\
          \x20 --no-resume              do not journal/resume alongside --csv\n\
+         \x20 --max-journal-bytes N    compact the journal once it exceeds N bytes\n\
          \n\
          With --csv, completed jobs are journalled to PATH.journal; rerunning\n\
          the same command after an interruption resumes and produces a CSV\n\
@@ -304,6 +328,35 @@ mod tests {
 
         let eq = args(&["--csv=x.csv"]);
         assert_eq!(eq.value("--csv").as_deref(), Some("x.csv"));
+    }
+
+    #[test]
+    fn duplicate_flags_take_the_last_value_in_any_form_mix() {
+        // space then space, space then =, = then space, = then = — the last
+        // occurrence always wins.
+        let ss = args(&["--csv", "a.csv", "--csv", "b.csv"]);
+        assert_eq!(ss.value("--csv").as_deref(), Some("b.csv"));
+        let se = args(&["--csv", "a.csv", "--csv=b.csv"]);
+        assert_eq!(se.value("--csv").as_deref(), Some("b.csv"));
+        let es = args(&["--csv=a.csv", "--csv", "b.csv"]);
+        assert_eq!(es.value("--csv").as_deref(), Some("b.csv"));
+        let ee = args(&["--shards=1", "--shards=3"]);
+        assert_eq!(ee.usize_value("--shards"), Some(3));
+        // A malformed final occurrence is ignored; the earlier value stays.
+        let torn = args(&["--csv", "a.csv", "--csv"]);
+        assert_eq!(torn.value("--csv").as_deref(), Some("a.csv"));
+        let swallow = args(&["--csv=a.csv", "--csv", "--quick"]);
+        assert_eq!(swallow.value("--csv").as_deref(), Some("a.csv"));
+        assert!(swallow.flag("--quick"));
+    }
+
+    #[test]
+    fn max_journal_bytes_reaches_the_context() {
+        let ctx = context_from_args(&args(&["--csv", "out.csv", "--max-journal-bytes", "4096"]));
+        assert!(ctx.checkpoint_path().is_some());
+        let unknown =
+            args(&["--max-journal-bytes", "4096"]).unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS);
+        assert!(unknown.is_empty(), "{unknown:?}");
     }
 
     #[test]

@@ -42,6 +42,48 @@ proptest! {
         prop_assert!(equals.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS).is_empty());
     }
 
+    /// A flag given twice takes the last value, for every combination of
+    /// the space form and the `=` form across the two occurrences, wherever
+    /// the duplicate pair sits among other flags.
+    #[test]
+    fn prop_duplicate_flags_take_the_last_value(
+        flag_sel in 0usize..8,
+        first_num in any::<u32>(),
+        second_num in any::<u32>(),
+        first_eq in any::<bool>(),
+        second_eq in any::<bool>(),
+        interleave_quick in any::<bool>(),
+    ) {
+        let flag = RUN_VALUE_FLAGS[flag_sel % RUN_VALUE_FLAGS.len()];
+        let first = format!("v{first_num}");
+        let second = format!("v{second_num}");
+        let mut list = Vec::new();
+        let push_occurrence = |list: &mut Vec<String>, eq: bool, value: &str| {
+            if eq {
+                list.push(format!("{flag}={value}"));
+            } else {
+                list.push(flag.to_string());
+                list.push(value.to_string());
+            }
+        };
+        push_occurrence(&mut list, first_eq, &first);
+        if interleave_quick {
+            list.push("--quick".to_string());
+        }
+        push_occurrence(&mut list, second_eq, &second);
+        let parsed = args(&list);
+        prop_assert_eq!(parsed.value(flag).as_deref(), Some(second.as_str()));
+        prop_assert_eq!(parsed.flag("--quick"), interleave_quick);
+        prop_assert!(parsed.unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS).is_empty());
+
+        // A malformed trailing occurrence never erases the earlier value.
+        let mut torn = Vec::new();
+        push_occurrence(&mut torn, first_eq, &first);
+        torn.push(flag.to_string());
+        let torn = args(&torn);
+        prop_assert_eq!(torn.value(flag).as_deref(), Some(first.as_str()));
+    }
+
     /// A value flag with its value missing — last argument, or followed by
     /// another flag — reads as absent in both error shapes.
     #[test]
@@ -111,6 +153,8 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
             "--json".to_string(),
             json.clone(),
             format!("--checkpoint={checkpoint}"),
+            "--max-journal-bytes".to_string(),
+            "4096".to_string(),
         ]);
         for flag in RUN_BOOL_FLAGS {
             assert!(invocation.flag(flag), "{}: {flag}", study.name());
@@ -122,6 +166,7 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
             invocation.value("--checkpoint").as_deref(),
             Some(checkpoint.as_str())
         );
+        assert_eq!(invocation.usize_value("--max-journal-bytes"), Some(4096));
         assert!(
             invocation
                 .unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS)

@@ -27,8 +27,8 @@ fn registry_covers_every_artefact_in_the_experiments_doc_table() {
     }
     assert_eq!(
         drivers.len(),
-        11,
-        "experiments.rs doc table should list the eight paper artefacts plus the three scenarios"
+        12,
+        "experiments.rs doc table should list the eight paper artefacts plus the four scenarios"
     );
     let paper = StudyRegistry::paper();
     let extended = StudyRegistry::extended();
@@ -172,6 +172,52 @@ fn scaleout_2048_quick_csv_matches_its_golden() {
         run_quick_csv("scaleout_2048"),
         include_str!("golden/scaleout_2048.quick.csv")
     );
+}
+
+#[test]
+fn megasweep_quick_csv_matches_its_golden() {
+    assert_eq!(
+        run_quick_csv("megasweep"),
+        include_str!("golden/megasweep.quick.csv")
+    );
+}
+
+#[test]
+fn megasweep_quick_csv_is_worker_count_independent_with_compaction() {
+    // The acceptance matrix of the streaming pipeline: {1, 4} workers ×
+    // {uninterrupted, compacted journal} all produce identical row bytes.
+    let pid = std::process::id();
+    let reference = include_str!("golden/megasweep.quick.csv");
+    for (workers, cap) in [(1usize, None), (4, None), (1, Some(200u64)), (4, Some(200))] {
+        let csv = std::env::temp_dir().join(format!(
+            "sfbench-megasweep-{pid}-{workers}-{}.csv",
+            cap.unwrap_or(0)
+        ));
+        let journal = std::env::temp_dir().join(format!(
+            "sfbench-megasweep-{pid}-{workers}-{}.journal",
+            cap.unwrap_or(0)
+        ));
+        let _ = std::fs::remove_file(&csv);
+        let _ = std::fs::remove_file(&journal);
+        let registry = StudyRegistry::extended();
+        let study = registry.get("megasweep").unwrap();
+        let mut ctx = RunContext::new()
+            .quick(true)
+            .with_pool(sf_harness::PoolConfig::threads(workers).with_chunk(2))
+            .with_csv(&csv)
+            .with_checkpoint(&journal);
+        if let Some(bytes) = cap {
+            ctx = ctx.with_max_journal_bytes(bytes);
+        }
+        execute(study, &ctx).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&csv).unwrap(),
+            reference,
+            "workers={workers} cap={cap:?}"
+        );
+        assert!(!journal.exists());
+        std::fs::remove_file(&csv).unwrap();
+    }
 }
 
 #[test]

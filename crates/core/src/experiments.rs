@@ -22,6 +22,7 @@
 //! | [`fault_resilience_study`]     | Scenario: fault injection |
 //! | [`adversarial_saturation_study`] | Scenario: adversarial traffic |
 //! | [`scaleout_study`]             | Scenario: scale-out beyond 1296 nodes |
+//! | [`megasweep_study`]            | Scenario: streaming mega-sweep |
 
 use crate::comparison::{NetworkInstance, TopologyKind};
 use crate::network::StringFigureNetwork;
@@ -29,7 +30,7 @@ use crate::power::PowerManager;
 use crate::study::RunContext;
 use serde::{Deserialize, Serialize};
 use sf_harness::pool::PoolConfig;
-use sf_harness::sweep::cross2;
+use sf_harness::sweep::{cross2, cross2_lazy, cross3_lazy};
 use sf_harness::table::{Record, Value};
 use sf_harness::BuildCache;
 use sf_netsim::SimulationStats;
@@ -202,12 +203,14 @@ pub fn surg_path_length_study_with_ctx(
         TopologyKind::SpaceShuffle,
         TopologyKind::StringFigure,
     ];
-    // One job per (size, topology seed, design); aggregation back into one
-    // row per size happens serially below, in enumeration order, so the
-    // float accumulation order matches the old nested loops exactly.
+    // One job per (size, topology seed, design), streamed lazily in
+    // row-major order — the same enumeration the eager product built;
+    // aggregation back into one row per size happens serially below, in
+    // enumeration order, so the float accumulation order matches the old
+    // nested loops exactly.
     let seed_list: Vec<u64> = (0..seeds.max(1)).collect();
-    let points = cross2(sizes, &cross2(&seed_list, &KINDS));
-    let lengths = ctx.run_jobs(points, |_, &(nodes, (seed, kind))| {
+    let points = cross3_lazy(sizes.to_vec(), seed_list.clone(), KINDS.to_vec());
+    let lengths = ctx.run_jobs(points, |_, &(nodes, seed, kind)| {
         Ok(ctx.instance(kind, nodes, seed + 1)?.average_shortest_path())
     })?;
 
@@ -295,16 +298,19 @@ pub fn hop_count_study_with_ctx(
     samples: usize,
     seed: u64,
 ) -> SfResult<Vec<HopCountRow>> {
-    ctx.run_jobs(cross2(sizes, kinds), |_, &(nodes, kind)| {
-        let instance = ctx.instance(kind, nodes, seed)?;
-        Ok(HopCountRow {
-            kind,
-            nodes,
-            average_shortest_path: instance.average_shortest_path(),
-            average_routed_hops: instance.average_routed_hops(samples)?,
-            router_ports: instance.router_ports(),
-        })
-    })
+    ctx.run_jobs(
+        cross2_lazy(sizes.to_vec(), kinds.to_vec()),
+        |_, &(nodes, kind)| {
+            let instance = ctx.instance(kind, nodes, seed)?;
+            Ok(HopCountRow {
+                kind,
+                nodes,
+                average_shortest_path: instance.average_shortest_path(),
+                average_routed_hops: instance.average_routed_hops(samples)?,
+                router_ports: instance.router_ports(),
+            })
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -604,20 +610,23 @@ pub fn workload_study_with_ctx(
     seed: u64,
 ) -> SfResult<Vec<WorkloadRow>> {
     let injectors = socket_nodes(nodes, socket_count);
-    ctx.run_jobs(cross2(kinds, workloads), |_, &(kind, workload)| {
-        let instance = ctx.instance(kind, nodes, seed)?;
-        let stats = run_workload_on(&instance, workload, &injectors, scale, seed)?;
-        let measured = scale.max_cycles - scale.warmup_cycles;
-        let completed = stats.completed_requests.max(1);
-        Ok(WorkloadRow {
-            kind,
-            workload,
-            requests_per_cycle: stats.completed_requests as f64 / measured as f64,
-            average_round_trip_cycles: stats.average_round_trip_cycles(),
-            energy_per_request_pj: stats.total_energy_pj() / completed as f64,
-            total_energy_pj: stats.total_energy_pj(),
-        })
-    })
+    ctx.run_jobs(
+        cross2_lazy(kinds.to_vec(), workloads.to_vec()),
+        |_, &(kind, workload)| {
+            let instance = ctx.instance(kind, nodes, seed)?;
+            let stats = run_workload_on(&instance, workload, &injectors, scale, seed)?;
+            let measured = scale.max_cycles - scale.warmup_cycles;
+            let completed = stats.completed_requests.max(1);
+            Ok(WorkloadRow {
+                kind,
+                workload,
+                requests_per_cycle: stats.completed_requests as f64 / measured as f64,
+                average_round_trip_cycles: stats.average_round_trip_cycles(),
+                energy_per_request_pj: stats.total_energy_pj() / completed as f64,
+                total_energy_pj: stats.total_energy_pj(),
+            })
+        },
+    )
 }
 
 /// Runs one application workload on a pre-built instance.
@@ -895,10 +904,13 @@ pub fn bisection_study_with_ctx(
     topologies: u64,
 ) -> SfResult<Vec<BisectionRow>> {
     let seed_list: Vec<u64> = (0..topologies.max(1)).collect();
-    let samples = ctx.run_jobs(cross2(kinds, &seed_list), |_, &(kind, seed)| {
-        let instance = ctx.instance(kind, nodes, seed + 1)?;
-        Ok(instance.bisection_bandwidth(cuts, seed + 100))
-    })?;
+    let samples = ctx.run_jobs(
+        cross2_lazy(kinds.to_vec(), seed_list.clone()),
+        |_, &(kind, seed)| {
+            let instance = ctx.instance(kind, nodes, seed + 1)?;
+            Ok(instance.bisection_bandwidth(cuts, seed + 100))
+        },
+    )?;
 
     let denom = topologies.max(1);
     let per_kind = seed_list.len();
@@ -977,17 +989,20 @@ pub fn configuration_table_with_ctx(
     sizes: &[usize],
     seed: u64,
 ) -> SfResult<Vec<ConfigurationRow>> {
-    ctx.run_jobs(cross2(sizes, kinds), |_, &(nodes, kind)| {
-        let instance = ctx.instance(kind, nodes, seed)?;
-        Ok(ConfigurationRow {
-            kind,
-            nodes,
-            router_ports: instance.router_ports(),
-            links: instance.graph().num_edges(),
-            requires_high_radix: kind.requires_high_radix(),
-            supports_reconfiguration: kind.supports_reconfiguration(),
-        })
-    })
+    ctx.run_jobs(
+        cross2_lazy(sizes.to_vec(), kinds.to_vec()),
+        |_, &(nodes, kind)| {
+            let instance = ctx.instance(kind, nodes, seed)?;
+            Ok(ConfigurationRow {
+                kind,
+                nodes,
+                router_ports: instance.router_ports(),
+                links: instance.graph().num_edges(),
+                requires_high_radix: kind.requires_high_radix(),
+                supports_reconfiguration: kind.supports_reconfiguration(),
+            })
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -1078,7 +1093,8 @@ pub fn fault_resilience_study_with_ctx(
     seed: u64,
 ) -> SfResult<Vec<FaultResilienceRow>> {
     let measured = (scale.max_cycles - scale.warmup_cycles).max(1);
-    ctx.run_jobs(cross2(kinds, severities), |_, &(kind, (links, routers))| {
+    let points = cross2_lazy(kinds.to_vec(), severities.to_vec());
+    ctx.run_jobs(points, |_, &(kind, (links, routers))| {
         let instance = ctx.instance(kind, nodes, seed)?;
         let plan = (links > 0 || routers > 0).then(|| {
             FaultPlan::new(seed ^ 0x00fa_0175)
@@ -1180,6 +1196,136 @@ pub fn scaleout_study_with_ctx(
     seed: u64,
 ) -> SfResult<Vec<HopCountRow>> {
     hop_count_study_with_ctx(ctx, kinds, sizes, samples, seed)
+}
+
+/// One point of the streaming mega-sweep: one design at one size, driven at
+/// one injection rate with one topology seed, at a quick-capped simulation
+/// scale. These rows are never collected — they stream straight from the
+/// sweep to the artifact sinks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MegasweepRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Network size.
+    pub nodes: usize,
+    /// Injection rate (packets per node per cycle).
+    pub injection_rate: f64,
+    /// Topology seed of this point.
+    pub seed: u64,
+    /// Average packet latency in cycles.
+    pub average_latency_cycles: f64,
+    /// Accepted throughput (delivered packets per node per cycle).
+    pub accepted_throughput: f64,
+    /// Whether the run saturated.
+    pub saturated: bool,
+}
+
+/// Per-design aggregate of a mega-sweep — the only thing the streaming run
+/// holds in memory (one slot per design, not per point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MegasweepSummaryRow {
+    /// Network design.
+    pub kind: TopologyKind,
+    /// Points swept for this design.
+    pub points: u64,
+    /// Points whose run saturated.
+    pub saturated_points: u64,
+    /// Mean average latency over the design's points, in cycles.
+    pub mean_latency_cycles: f64,
+    /// Mean accepted throughput over the design's points.
+    pub mean_throughput: f64,
+}
+
+/// Scenario study: the streaming mega-sweep over design × size × injection
+/// rate × topology seed. Unlike every other study, the full-scale grid
+/// (~10⁵ points) is never materialised and the rows are never collected:
+/// points stream in through the lazy cross product, each completed row is
+/// journalled and written to the context's emitters in enumeration order,
+/// and only the per-design [`MegasweepSummaryRow`] aggregate comes back —
+/// the whole pipeline runs in `O(workers)` memory.
+///
+/// # Errors
+///
+/// Propagates construction, simulation, and artifact-sink errors.
+pub fn megasweep_study(
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    rates: &[f64],
+    seeds: u64,
+    scale: ExperimentScale,
+) -> SfResult<Vec<MegasweepSummaryRow>> {
+    megasweep_study_with_ctx(&RunContext::new(), kinds, sizes, rates, seeds, scale)
+}
+
+/// [`megasweep_study`] inside an explicit [`RunContext`] — the single code
+/// path behind the `megasweep` study, and the only driver that **requires**
+/// the streaming pipeline: it refuses to exist as a collect-then-emit loop.
+///
+/// # Errors
+///
+/// Propagates construction, simulation, and artifact-sink errors.
+pub fn megasweep_study_with_ctx(
+    ctx: &RunContext,
+    kinds: &[TopologyKind],
+    sizes: &[usize],
+    rates: &[f64],
+    seeds: u64,
+    scale: ExperimentScale,
+) -> SfResult<Vec<MegasweepSummaryRow>> {
+    let mut stream = ctx.open_row_stream(&MegasweepRow::columns())?;
+    let seed_list: Vec<u64> = (0..seeds.max(1)).collect();
+    // Row-major over (kind, nodes) × (rate, seed): the outer product is tiny
+    // and the inner product is one design-point's rate ladder, so the
+    // composition streams the 4-axis grid with O(rates × seeds) transient
+    // state — never O(grid).
+    let points = cross2_lazy(cross2(kinds, sizes), cross2(rates, &seed_list));
+    let mut aggregates = vec![(0u64, 0u64, 0.0f64, 0.0f64); kinds.len()];
+    ctx.run_jobs_streaming(
+        points,
+        |_, &((kind, nodes), (rate, seed))| {
+            let instance = ctx.instance(kind, nodes, seed + 1)?;
+            let stats = run_pattern_on(
+                &instance,
+                SyntheticPattern::UniformRandom,
+                rate,
+                scale,
+                seed,
+            )?;
+            let measured = (scale.max_cycles - scale.warmup_cycles).max(1);
+            Ok(MegasweepRow {
+                kind,
+                nodes,
+                injection_rate: rate,
+                seed,
+                average_latency_cycles: stats.average_latency_cycles(),
+                accepted_throughput: stats.accepted_throughput(measured),
+                saturated: stats.is_saturated(),
+            })
+        },
+        |_, row| {
+            let slot = kinds.iter().position(|k| *k == row.kind).unwrap_or(0);
+            let (points, saturated, latency, throughput) = &mut aggregates[slot];
+            *points += 1;
+            *saturated += u64::from(row.saturated);
+            *latency += row.average_latency_cycles;
+            *throughput += row.accepted_throughput;
+            stream.push(&row.values())
+        },
+    )?;
+    stream.finish()?;
+    Ok(kinds
+        .iter()
+        .zip(aggregates)
+        .map(
+            |(&kind, (points, saturated, latency, throughput))| MegasweepSummaryRow {
+                kind,
+                points,
+                saturated_points: saturated,
+                mean_latency_cycles: latency / points.max(1) as f64,
+                mean_throughput: throughput / points.max(1) as f64,
+            },
+        )
+        .collect())
 }
 
 /// Average-path-length summary of a partially gated String Figure network,
@@ -1358,6 +1504,52 @@ impl Record for FaultResilienceRow {
             self.dropped_packets.into(),
             self.completion_ratio.into(),
             self.average_round_trip_cycles.into(),
+        ]
+    }
+}
+
+impl Record for MegasweepRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "kind",
+            "nodes",
+            "injection_rate",
+            "seed",
+            "average_latency_cycles",
+            "accepted_throughput",
+            "saturated",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.nodes.into(),
+            self.injection_rate.into(),
+            self.seed.into(),
+            self.average_latency_cycles.into(),
+            self.accepted_throughput.into(),
+            self.saturated.into(),
+        ]
+    }
+}
+
+impl Record for MegasweepSummaryRow {
+    fn columns() -> Vec<&'static str> {
+        vec![
+            "kind",
+            "points",
+            "saturated_points",
+            "mean_latency_cycles",
+            "mean_throughput",
+        ]
+    }
+    fn values(&self) -> Vec<Value> {
+        vec![
+            self.kind.name().into(),
+            self.points.into(),
+            self.saturated_points.into(),
+            self.mean_latency_cycles.into(),
+            self.mean_throughput.into(),
         ]
     }
 }

@@ -29,14 +29,15 @@ use crate::comparison::{NetworkInstance, TopologyKind};
 use crate::experiments::{
     self, adversarial_saturation_study_with_ctx, bisection_study_with_ctx,
     configuration_table_with_ctx, fault_resilience_study_with_ctx, hop_count_study_with_ctx,
-    latency_curve_with_ctx, power_gating_study_with_ctx, saturation_study_with_ctx,
-    scaleout_study_with_ctx, surg_path_length_study_with_ctx, workload_study_with_ctx,
-    ExperimentScale, FaultResilienceRow, HopCountRow, LatencyPoint, PowerGateRow, SaturationRow,
-    WorkloadRow,
+    latency_curve_with_ctx, megasweep_study_with_ctx, power_gating_study_with_ctx,
+    saturation_study_with_ctx, scaleout_study_with_ctx, surg_path_length_study_with_ctx,
+    workload_study_with_ctx, ExperimentScale, FaultResilienceRow, HopCountRow, LatencyPoint,
+    MegasweepRow, PowerGateRow, SaturationRow, WorkloadRow,
 };
 use sf_harness::journal::{self, Journal};
 use sf_harness::pool::PoolConfig;
-use sf_harness::sweep::{JobCtx, LazySweep, Sweep, SweepError, SweepReport};
+use sf_harness::sink::RowSink;
+use sf_harness::sweep::{JobCtx, LazySweep, SweepError};
 use sf_harness::table::{Record, Table, Value};
 use sf_harness::BuildCache;
 use sf_topology::analysis::BisectionBandwidth;
@@ -249,6 +250,26 @@ impl CheckpointRow for FaultResilienceRow {
     }
 }
 
+impl CheckpointRow for MegasweepRow {
+    fn to_cells(&self) -> Vec<Value> {
+        self.values()
+    }
+    fn from_cells(cells: &[Value]) -> Option<Self> {
+        let [kind, nodes, rate, seed, latency, throughput, saturated] = cells else {
+            return None;
+        };
+        Some(Self {
+            kind: TopologyKind::from_name(cell_str(kind)?)?,
+            nodes: cell_usize(nodes)?,
+            injection_rate: cell_f64(rate)?,
+            seed: cell_u64(seed)?,
+            average_latency_cycles: cell_f64(latency)?,
+            accepted_throughput: cell_f64(throughput)?,
+            saturated: cell_bool(saturated)?,
+        })
+    }
+}
+
 impl CheckpointRow for crate::experiments::ConfigurationRow {
     fn to_cells(&self) -> Vec<Value> {
         self.values()
@@ -309,6 +330,7 @@ pub struct RunContext {
     cache: Option<Arc<TopologyCache>>,
     emitters: Vec<Emitter>,
     checkpoint_path: Option<PathBuf>,
+    max_journal_bytes: Option<u64>,
     journal: OnceLock<Journal>,
     sweep_seq: AtomicU64,
 }
@@ -332,6 +354,7 @@ impl RunContext {
             cache: None,
             emitters: Vec::new(),
             checkpoint_path: None,
+            max_journal_bytes: None,
             journal: OnceLock::new(),
             sweep_seq: AtomicU64::new(0),
         }
@@ -396,6 +419,17 @@ impl RunContext {
     #[must_use]
     pub fn with_checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
         self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Caps the checkpoint journal's append log: once it outgrows `bytes`,
+    /// it is compacted in place to a kill-safe snapshot (and an oversized
+    /// journal found on resume is compacted before the run continues). The
+    /// cap changes only disk usage, never output bytes, so it is — like
+    /// worker and shard counts — excluded from the resume fingerprint.
+    #[must_use]
+    pub fn with_max_journal_bytes(mut self, bytes: u64) -> Self {
+        self.max_journal_bytes = Some(bytes);
         self
     }
 
@@ -476,9 +510,24 @@ impl RunContext {
         if let Some(journal) = self.journal.get() {
             return Ok(journal.restored_count());
         }
-        let journal = Journal::open(path, fingerprint).map_err(|e| SfError::Simulation {
-            reason: format!("cannot open checkpoint journal {}: {e}", path.display()),
+        let journal =
+            Journal::open_with_limit(path, fingerprint, self.max_journal_bytes).map_err(|e| {
+                SfError::Simulation {
+                    reason: format!("cannot open checkpoint journal {}: {e}", path.display()),
+                }
+            })?;
+        // An interrupted mega-sweep can leave a log far past the cap; settle
+        // it to a snapshot before appending more.
+        let compacted = journal.maybe_compact().map_err(|e| SfError::Simulation {
+            reason: format!("cannot compact checkpoint journal {}: {e}", path.display()),
         })?;
+        if compacted {
+            eprintln!(
+                "# compacted checkpoint journal {} to {} byte(s)",
+                path.display(),
+                journal.len_bytes()
+            );
+        }
         let restored = journal.restored_count();
         let _ = self.journal.set(journal);
         Ok(restored)
@@ -492,87 +541,223 @@ impl RunContext {
         self.journal.get()
     }
 
-    /// Runs one sweep of `points` through the worker pool — **the** single
-    /// execution path every study driver uses.
+    /// Runs one streaming sweep of `points` through the worker pool,
+    /// delivering each completed row to `on_row` **in enumeration order**
+    /// without collecting the rows — **the** single execution path every
+    /// study driver uses (the collecting [`run_jobs`](Self::run_jobs) is a
+    /// thin wrapper). This is the bounded-memory pipeline: points stream in
+    /// from the iterator, rows stream out through the callback, and the
+    /// engine only buffers the out-of-order window, so a million-point
+    /// mega-sweep peaks at `O(workers × chunk)` memory.
     ///
-    /// Rows come back in enumeration order for any worker count. With a
-    /// checkpoint journal open, jobs completed by a previous interrupted run
-    /// are restored from the journal instead of recomputed, and every newly
-    /// completed job is journalled (and flushed) before its result is used —
-    /// which is what makes `kill -9` at any point resumable with
-    /// bit-identical final output.
+    /// With a checkpoint journal open, jobs completed by a previous
+    /// interrupted run are restored from the journal instead of recomputed
+    /// (and still flow through `on_row` in order), and every newly completed
+    /// job is journalled (and flushed) before its row is delivered — which
+    /// is what makes `kill -9` at any point resumable with bit-identical
+    /// final output. Returns the number of rows delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed job error (panics inside a job surface as
+    /// [`SfError::Simulation`] tagged with the job index) or the first error
+    /// `on_row` returned. The first error **cancels the sweep**: no further
+    /// points are pulled, so a failed mega-sweep stops within the in-flight
+    /// window instead of computing the rest of its grid.
+    pub fn run_jobs_streaming<I, P, R, F, S>(
+        &self,
+        points: I,
+        job: F,
+        mut on_row: S,
+    ) -> SfResult<usize>
+    where
+        I: IntoIterator<Item = P>,
+        I::IntoIter: ExactSizeIterator + Send,
+        P: Send,
+        R: CheckpointRow + Send,
+        F: Fn(JobCtx, &P) -> SfResult<R> + Sync,
+        S: FnMut(usize, R) -> SfResult<()> + Send,
+    {
+        let seq = self.sweep_seq.fetch_add(1, Ordering::Relaxed);
+        let journal = self.journal.get();
+        let mut failure: Option<SfError> = None;
+        let mut delivered = 0usize;
+        LazySweep::new(points.into_iter()).run_streaming(
+            &self.pool,
+            |jctx, point| {
+                if let Some(journal) = journal {
+                    if let Some(cells) = journal.restored(seq, jctx.index as u64) {
+                        if let Some(row) = R::from_cells(cells) {
+                            return Ok(row);
+                        }
+                    }
+                }
+                let row = job(jctx, point)?;
+                if let Some(journal) = journal {
+                    journal
+                        .record(seq, jctx.index as u64, &row.to_cells())
+                        .map_err(|e| SfError::Simulation {
+                            reason: format!("checkpoint journal write failed: {e}"),
+                        })?;
+                }
+                Ok(row)
+            },
+            |outcome| {
+                // Ordered delivery means the first failure seen is the
+                // lowest-indexed one — the error the old serial loops
+                // surfaced. Returning false cancels the sweep, so a failed
+                // mega-sweep stops instead of running the rest of its grid.
+                match outcome.result {
+                    Ok(row) => match on_row(outcome.index, row) {
+                        Ok(()) => {
+                            delivered += 1;
+                            true
+                        }
+                        Err(e) => {
+                            failure = Some(e);
+                            false
+                        }
+                    },
+                    Err(SweepError::Job(e)) => {
+                        failure = Some(e);
+                        false
+                    }
+                    Err(SweepError::Panic(message)) => {
+                        failure = Some(SfError::Simulation {
+                            reason: format!("experiment job {} panicked: {message}", outcome.index),
+                        });
+                        false
+                    }
+                }
+            },
+        );
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(delivered),
+        }
+    }
+
+    /// [`run_jobs_streaming`](Self::run_jobs_streaming) collecting the rows
+    /// into a `Vec` — the path for studies whose grids are small enough to
+    /// hold (every `Vec<P>` also streams through here, which keeps old
+    /// drivers compiling unchanged).
     ///
     /// # Errors
     ///
     /// Returns the lowest-indexed job error; panics inside a job surface as
     /// [`SfError::Simulation`] tagged with the job index.
-    pub fn run_jobs<P, R, F>(&self, points: Vec<P>, job: F) -> SfResult<Vec<R>>
+    pub fn run_jobs<I, P, R, F>(&self, points: I, job: F) -> SfResult<Vec<R>>
     where
-        P: Sync + Send,
+        I: IntoIterator<Item = P>,
+        I::IntoIter: ExactSizeIterator + Send,
+        P: Send,
         R: CheckpointRow + Send,
         F: Fn(JobCtx, &P) -> SfResult<R> + Sync,
     {
-        let seq = self.sweep_seq.fetch_add(1, Ordering::Relaxed);
-        let journal = self.journal.get();
-        let report = Sweep::new(points).run(&self.pool, |jctx, point| {
-            if let Some(journal) = journal {
-                if let Some(cells) = journal.restored(seq, jctx.index as u64) {
-                    if let Some(row) = R::from_cells(cells) {
-                        return Ok(row);
-                    }
-                }
-            }
-            let row = job(jctx, point)?;
-            if let Some(journal) = journal {
-                journal
-                    .record(seq, jctx.index as u64, &row.to_cells())
-                    .map_err(|e| SfError::Simulation {
-                        reason: format!("checkpoint journal write failed: {e}"),
-                    })?;
-            }
-            Ok(row)
-        });
-        collect_rows(report)
+        let mut rows = Vec::new();
+        self.run_jobs_streaming(points, job, |_, row| {
+            rows.push(row);
+            Ok(())
+        })?;
+        Ok(rows)
     }
 
-    /// Writes `table` through every configured emitter.
+    /// Opens one streaming [`RowSink`] per configured emitter, all sharing
+    /// `columns` — the artifact end of the bounded-memory pipeline. With no
+    /// emitters configured the stream is an empty no-op.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces filesystem failures as [`SfError::Simulation`].
+    pub fn open_row_stream<S: AsRef<str>>(&self, columns: &[S]) -> SfResult<RowStream> {
+        let mut sinks = Vec::with_capacity(self.emitters.len());
+        for emitter in &self.emitters {
+            let (path, sink) = match emitter {
+                Emitter::Csv(path) => (path, RowSink::csv(path, columns)),
+                Emitter::Json(path) => (path, RowSink::json(path, columns)),
+            };
+            sinks.push(sink.map_err(|e| SfError::Simulation {
+                reason: format!("cannot open artifact {}: {e}", path.display()),
+            })?);
+        }
+        Ok(RowStream { sinks })
+    }
+
+    /// Writes `table` through every configured emitter — the post-hoc path
+    /// for studies that aggregate before emitting. Runs over the same
+    /// streaming sinks as [`open_row_stream`](Self::open_row_stream), so
+    /// both paths produce identical bytes.
     ///
     /// # Errors
     ///
     /// Surfaces filesystem failures as [`SfError::Simulation`].
     pub fn emit(&self, table: &Table) -> SfResult<()> {
-        for emitter in &self.emitters {
-            let (path, payload) = match emitter {
-                Emitter::Csv(path) => (path, table.to_csv()),
-                Emitter::Json(path) => (path, table.to_json()),
-            };
-            std::fs::write(path, payload).map_err(|e| SfError::Simulation {
-                reason: format!("cannot write artifact {}: {e}", path.display()),
-            })?;
-            eprintln!("# wrote {} ({} rows)", path.display(), table.len());
+        let mut stream = self.open_row_stream(&table.columns)?;
+        for row in &table.rows {
+            stream.push(row)?;
         }
-        Ok(())
+        stream.finish()
     }
 }
 
-/// Unwraps a sweep report into rows, translating a panic in any job into an
-/// [`SfError::Simulation`] so callers keep seeing the crate's error type.
-/// The lowest-indexed failure wins (matching what the old serial loops
-/// surfaced first).
-fn collect_rows<R>(report: SweepReport<R, SfError>) -> SfResult<Vec<R>> {
-    let mut rows = Vec::with_capacity(report.outcomes.len());
-    for outcome in report.outcomes {
-        match outcome.result {
-            Ok(row) => rows.push(row),
-            Err(SweepError::Job(e)) => return Err(e),
-            Err(SweepError::Panic(message)) => {
+/// The artifact end of a streaming run: every pushed row goes to each of the
+/// context's emitters incrementally, and [`finish`](Self::finish) finalises
+/// all artifacts atomically. Created by
+/// [`RunContext::open_row_stream`]; dropping without `finish` discards the
+/// partial artifacts and leaves the destinations untouched.
+#[derive(Debug)]
+pub struct RowStream {
+    sinks: Vec<RowSink>,
+}
+
+impl RowStream {
+    /// Appends one row to every open sink.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces filesystem failures as [`SfError::Simulation`].
+    pub fn push(&mut self, cells: &[Value]) -> SfResult<()> {
+        for sink in &mut self.sinks {
+            // Error context is formatted only on failure — push runs once
+            // per row per sink inside the serialised emit section, so the
+            // success path must not allocate.
+            if let Err(e) = sink.push(cells) {
                 return Err(SfError::Simulation {
-                    reason: format!("experiment job {} panicked: {message}", outcome.index),
-                })
+                    reason: format!("cannot write artifact {}: {e}", sink.path().display()),
+                });
             }
         }
+        Ok(())
     }
-    Ok(rows)
+
+    /// Number of sinks this stream writes to.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether the stream has no sinks (no emitters configured).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// Finalises and atomically publishes every artifact.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces filesystem failures as [`SfError::Simulation`].
+    pub fn finish(self) -> SfResult<()> {
+        for sink in self.sinks {
+            let path = sink.path().display().to_string();
+            let rows = sink.rows();
+            sink.finish().map_err(|e| SfError::Simulation {
+                reason: format!("cannot write artifact {path}: {e}"),
+            })?;
+            eprintln!("# wrote {path} ({rows} rows)");
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -654,6 +839,14 @@ pub trait Study: Send + Sync {
     /// Propagates construction, workload, and simulation errors.
     fn run(&self, ctx: &RunContext) -> SfResult<Table>;
 
+    /// Whether [`run`](Self::run) streams its rows straight to the context's
+    /// emitters while the sweep executes, returning only a summary table —
+    /// the shape mega-sweeps take, whose row sets must never be collected.
+    /// [`execute`] then skips the post-hoc emission of the returned table.
+    fn streams_rows(&self) -> bool {
+        false
+    }
+
     /// Prints any extra derived tables the old binary showed on stdout
     /// (normalised figures, feature matrices). Default: nothing.
     fn print_extras(&self, table: &Table) {
@@ -699,7 +892,11 @@ pub fn execute(study: &dyn Study, ctx: &RunContext) -> SfResult<Table> {
         );
     }
     let table = study.run(ctx)?;
-    ctx.emit(&table)?;
+    // Streaming studies already wrote their artifacts row by row; emitting
+    // the summary table over them would clobber the real rows.
+    if !study.streams_rows() {
+        ctx.emit(&table)?;
+    }
     if let Some(journal) = ctx.journal() {
         journal.finish().map_err(|e| SfError::Simulation {
             reason: format!("cannot remove checkpoint journal: {e}"),
@@ -759,6 +956,7 @@ impl StudyRegistry {
         registry.register(Box::new(FaultResilience));
         registry.register(Box::new(AdversarialSaturation));
         registry.register(Box::new(Scaleout2048));
+        registry.register(Box::new(Megasweep));
         registry
     }
 
@@ -1673,6 +1871,79 @@ impl Study for Scaleout2048 {
     }
 }
 
+/// Scenario: the streaming mega-sweep — design × size × injection rate ×
+/// topology seed at ~10⁵ quick-capped points full-scale. The only study
+/// that exists *because of* the bounded-memory pipeline: its grid streams
+/// through the lazy cross product, its rows stream to the emitters, and its
+/// `run` returns only a per-design summary.
+#[derive(Debug, Clone, Copy)]
+pub struct Megasweep;
+
+impl Megasweep {
+    #[allow(clippy::type_complexity)]
+    fn params(
+        ctx: &RunContext,
+    ) -> (
+        Vec<TopologyKind>,
+        Vec<usize>,
+        Vec<f64>,
+        u64,
+        ExperimentScale,
+    ) {
+        let (kinds, sizes, rates, seeds) = if ctx.is_quick() {
+            (
+                vec![TopologyKind::DistributedMesh, TopologyKind::StringFigure],
+                vec![16, 32],
+                vec![0.05, 0.2, 0.4],
+                2,
+            )
+        } else {
+            (
+                TopologyKind::ALL.to_vec(),
+                vec![16, 32, 48, 64, 96, 128],
+                (1..=20).map(|i| f64::from(i) * 0.045).collect(),
+                150,
+            )
+        };
+        // Every point is quick-capped: the sweep's scale comes from its
+        // breadth (~10^5 points full-scale), not from long simulations.
+        let scale = ctx.scale(ExperimentScale::quick());
+        (kinds, sizes, rates, seeds, scale)
+    }
+}
+
+impl Study for Megasweep {
+    fn name(&self) -> &'static str {
+        "megasweep"
+    }
+    fn artefact(&self) -> &'static str {
+        "Scenario: streaming mega-sweep"
+    }
+    fn description(&self) -> &'static str {
+        "bounded-memory design-space sweep over design x size x injection rate x seed; rows stream to the emitters"
+    }
+    fn driver(&self) -> &'static str {
+        "megasweep_study"
+    }
+    fn grid(&self, ctx: &RunContext) -> StudyGrid {
+        let (kinds, sizes, rates, seeds, _) = Self::params(ctx);
+        StudyGrid::new(vec![
+            ("design", kinds.len()),
+            ("nodes", sizes.len()),
+            ("injection rate", rates.len()),
+            ("topology seed", seeds as usize),
+        ])
+    }
+    fn streams_rows(&self) -> bool {
+        true
+    }
+    fn run(&self, ctx: &RunContext) -> SfResult<Table> {
+        let (kinds, sizes, rates, seeds, scale) = Self::params(ctx);
+        let summary = megasweep_study_with_ctx(ctx, &kinds, &sizes, &rates, seeds, scale)?;
+        Ok(Table::from_records(&summary))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1710,7 +1981,8 @@ mod tests {
             vec![
                 "fault_resilience",
                 "adversarial_saturation",
-                "scaleout_2048"
+                "scaleout_2048",
+                "megasweep"
             ]
         );
         for study in extended.iter() {
@@ -1925,6 +2197,176 @@ mod tests {
             SaturationRow::from_cells(&adversarial.to_cells()).unwrap(),
             adversarial
         );
+
+        let mega = MegasweepRow {
+            kind: TopologyKind::SpaceShuffle,
+            nodes: 96,
+            injection_rate: 0.315,
+            seed: 149,
+            average_latency_cycles: 0.1 + 0.2,
+            accepted_throughput: 0.0425,
+            saturated: true,
+        };
+        assert_eq!(MegasweepRow::from_cells(&mega.to_cells()).unwrap(), mega);
+        assert!(MegasweepRow::from_cells(&[Value::Null]).is_none());
+    }
+
+    #[test]
+    fn run_jobs_streaming_delivers_ordered_rows_without_collecting() {
+        // The bounded-memory acceptance check at the study layer: a
+        // 10^5+-point sweep runs through a sink that counts rows but never
+        // stores them (no Vec<P> or Vec<R> of grid size anywhere).
+        const POINTS: usize = 110_000;
+        let ctx = RunContext::new().with_pool(PoolConfig::threads(4).with_chunk(64));
+        let mut rows = 0usize;
+        let mut last_index = None;
+        let delivered = ctx
+            .run_jobs_streaming(
+                (0..POINTS).map(|i| i as u64),
+                |_, &n| Ok(n as f64 * 0.5),
+                |index, row| {
+                    assert_eq!(
+                        Some(index),
+                        last_index.map_or(Some(0), |i: usize| Some(i + 1))
+                    );
+                    assert!((row - index as f64 * 0.5).abs() < 1e-12);
+                    last_index = Some(index);
+                    rows += 1;
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(delivered, POINTS);
+        assert_eq!(rows, POINTS);
+    }
+
+    #[test]
+    fn streaming_sink_errors_abort_the_run() {
+        let ctx = RunContext::new().with_pool(PoolConfig::serial());
+        let result = ctx.run_jobs_streaming(
+            vec![1u64, 2, 3],
+            |_, &n| Ok(n as f64),
+            |index, _row| {
+                if index == 1 {
+                    Err(SfError::Simulation {
+                        reason: "sink full".into(),
+                    })
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        match result {
+            Err(SfError::Simulation { reason }) => assert_eq!(reason, "sink full"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn megasweep_streams_rows_and_resumes_bit_identically() {
+        let pid = std::process::id();
+        let dir = std::env::temp_dir();
+        let clean_csv = dir.join(format!("sf-megasweep-clean-{pid}.csv"));
+        let resumed_csv = dir.join(format!("sf-megasweep-resumed-{pid}.csv"));
+        let journal = dir.join(format!("sf-megasweep-{pid}.journal"));
+        for p in [&clean_csv, &resumed_csv, &journal] {
+            let _ = std::fs::remove_file(p);
+        }
+        let registry = StudyRegistry::extended();
+        let study = registry.get("megasweep").unwrap();
+        assert!(study.streams_rows());
+
+        // Reference: uninterrupted streaming run.
+        let clean_ctx = RunContext::new()
+            .quick(true)
+            .with_pool(PoolConfig::serial())
+            .with_csv(&clean_csv);
+        let summary = execute(study, &clean_ctx).unwrap();
+        // The returned table is the per-design summary, NOT the row stream:
+        // the CSV has one line per sweep point (plus header).
+        let clean = std::fs::read_to_string(&clean_csv).unwrap();
+        assert_eq!(clean.lines().count(), study.grid(&clean_ctx).jobs() + 1);
+        assert_eq!(summary.len(), 2, "one summary row per quick design");
+
+        // Interrupted run with a tiny journal cap: dies mid-sweep, leaving a
+        // (compacted) journal and no finished artifact.
+        let first = RunContext::new()
+            .quick(true)
+            .with_pool(PoolConfig::serial())
+            .with_csv(&resumed_csv)
+            .with_checkpoint(&journal)
+            .with_max_journal_bytes(160);
+        first
+            .resume_checkpoint(study_fingerprint(study, &first))
+            .unwrap();
+        let killed = AtomicUsize::new(0);
+        let result = first.run_jobs_streaming(
+            vec![0usize; study.grid(&first).jobs()],
+            |jctx, _| {
+                if killed.fetch_add(1, Ordering::SeqCst) >= 7 {
+                    return Err(SfError::Simulation {
+                        reason: "killed".into(),
+                    });
+                }
+                // Mirror the megasweep job exactly so the journal entries
+                // it leaves behind are valid for the real resumed run.
+                let (kinds, sizes, rates, seeds, scale) = Megasweep::params(&first);
+                let per_kind = sizes.len() * rates.len() * seeds as usize;
+                let kind = kinds[jctx.index / per_kind];
+                let rest = jctx.index % per_kind;
+                let nodes = sizes[rest / (rates.len() * seeds as usize)];
+                let rest = rest % (rates.len() * seeds as usize);
+                let rate = rates[rest / seeds as usize];
+                let seed = (rest % seeds as usize) as u64;
+                let instance = first.instance(kind, nodes, seed + 1).unwrap();
+                let stats = crate::experiments::run_pattern_on(
+                    &instance,
+                    SyntheticPattern::UniformRandom,
+                    rate,
+                    scale,
+                    seed,
+                )
+                .unwrap();
+                let measured = (scale.max_cycles - scale.warmup_cycles).max(1);
+                Ok(MegasweepRow {
+                    kind,
+                    nodes,
+                    injection_rate: rate,
+                    seed,
+                    average_latency_cycles: stats.average_latency_cycles(),
+                    accepted_throughput: stats.accepted_throughput(measured),
+                    saturated: stats.is_saturated(),
+                })
+            },
+            |_, _| Ok(()),
+        );
+        assert!(result.is_err());
+        assert!(journal.exists(), "journal must survive the killed run");
+        assert!(
+            first.journal().unwrap().compactions() >= 1,
+            "the tiny cap must have forced a compaction mid-run"
+        );
+        assert!(
+            !resumed_csv.exists(),
+            "no artifact may appear before a run finishes"
+        );
+
+        // Resume through the real execute path: restores the journalled
+        // jobs (from a compacted snapshot), computes the rest, and the CSV
+        // bytes must equal the uninterrupted run's.
+        let resumed_ctx = RunContext::new()
+            .quick(true)
+            .with_pool(PoolConfig::threads(3).with_chunk(2))
+            .with_csv(&resumed_csv)
+            .with_checkpoint(&journal)
+            .with_max_journal_bytes(160);
+        let resumed_summary = execute(study, &resumed_ctx).unwrap();
+        assert_eq!(resumed_summary, summary);
+        assert_eq!(std::fs::read_to_string(&resumed_csv).unwrap(), clean);
+        assert!(!journal.exists(), "journal must be removed after success");
+        for p in [&clean_csv, &resumed_csv] {
+            std::fs::remove_file(p).unwrap();
+        }
     }
 
     #[test]

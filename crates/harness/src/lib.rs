@@ -10,9 +10,13 @@
 //! points through shared mutable state*. This crate supplies the pieces that
 //! make that safe and reproducible:
 //!
-//! * [`sweep`] — the [`Sweep`](sweep::Sweep) / job abstraction: enumerate
-//!   points eagerly, derive a per-job seed from the job's index (never from
-//!   execution order), and run the closure over every point.
+//! * [`sweep`] — the [`Sweep`](sweep::Sweep) / [`LazySweep`](sweep::LazySweep)
+//!   job abstraction: stream points from an iterator (or a materialised
+//!   `Vec`), derive a per-job seed from the job's index (never from
+//!   execution order), and run the closure over every point. The streaming
+//!   engine delivers results to an ordered callback
+//!   ([`run_streaming`](sweep::LazySweep::run_streaming)), so a sweep's peak
+//!   memory is bounded by the worker count, not the grid size.
 //! * [`pool`] — a `std::thread`-based worker pool with chunked work
 //!   distribution and per-job panic isolation. Results are collected by job
 //!   index, so a run with 16 workers is **bit-identical** to a run with one.
@@ -26,7 +30,12 @@
 //!   entries go first, so paper-scale topologies stay resident.
 //! * [`journal`] — an append-only checkpoint journal of completed job
 //!   results, so interrupted mega-sweeps resume with bit-identical final
-//!   output instead of starting over.
+//!   output instead of starting over; oversized logs compact in place to a
+//!   kill-safe snapshot.
+//! * [`sink`] — streaming CSV/JSON row emitters ([`RowSink`](sink::RowSink))
+//!   that write each row as it arrives and finalise atomically on close,
+//!   byte-identical to serialising the equivalent [`Table`](table::Table)
+//!   in one shot.
 //! * [`budget`] — the process-wide core budget shared between sweep-level
 //!   workers and the intra-job simulation shards of `sf-simcore`, so the two
 //!   parallelism layers never oversubscribe the machine together.
@@ -54,6 +63,7 @@ pub mod budget;
 pub mod cache;
 pub mod journal;
 pub mod pool;
+pub mod sink;
 pub mod sweep;
 pub mod table;
 
@@ -61,5 +71,6 @@ pub use budget::CoreBudget;
 pub use cache::BuildCache;
 pub use journal::Journal;
 pub use pool::{JobError, PoolConfig};
+pub use sink::RowSink;
 pub use sweep::{derive_seed, JobCtx, JobOutcome, LazySweep, Sweep, SweepReport};
 pub use table::{Record, Table, Value};

@@ -14,8 +14,9 @@
 //! makes a parallel run bit-identical to a serial one: output order is
 //! enumeration order, never completion order.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// How a sweep is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,57 +100,119 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The one chunk-pulling scheduler behind both [`run_indexed`] and the sweep
+/// The reorder buffer behind [`run_stream_emit`]'s ordered delivery: results
+/// completed out of order park in `pending` until every smaller index has
+/// been emitted. The emit callback lives inside the same mutex, so calls are
+/// serialised *and* ordered without a dedicated consumer thread. `stop`
+/// latches when the callback cancels the run — workers observe it before
+/// pulling more points, so a failed mega-sweep does not burn through the
+/// rest of its grid.
+struct EmitState<T, S> {
+    pending: BTreeMap<usize, T>,
+    next_emit: usize,
+    emit: S,
+    stop: bool,
+}
+
+/// Wakes every condvar waiter when dropped — unwind-safe notification, so a
+/// panic inside the emit callback cannot strand backpressure-parked workers.
+struct NotifyOnDrop<'a>(&'a Condvar);
+
+impl Drop for NotifyOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.notify_all();
+    }
+}
+
+/// The one chunk-pulling scheduler behind [`run_indexed`] and the sweep
 /// engines (`Sweep`/`LazySweep` in [`crate::sweep`]).
 ///
 /// Pulls `(index, item)` pairs from `stream` under a lock, runs `execute` on
-/// worker threads, and returns results in pull (= enumeration) order —
-/// regardless of which worker ran what, which is the determinism contract.
+/// worker threads, and hands each result to `emit` **in pull (= enumeration)
+/// order** — regardless of which worker ran what, which is the determinism
+/// contract. Results are never collected: a completed result is buffered only
+/// while some smaller index is still in flight, so the peak memory of a
+/// mega-sweep is `O(workers × chunk)`, not `O(points)`. Workers that race too
+/// far ahead of the slowest in-flight index park on a condvar until the
+/// buffer drains (backpressure), which bounds the buffer even for wildly
+/// uneven job costs.
+///
 /// When the iterator reports an exact size, the worker count (and its
 /// reservation against the shared core budget) is clamped to it, so a
 /// two-point sweep on a 16-core host claims two workers, not sixteen —
 /// leaving the rest of the budget to intra-job simulation shards.
 ///
 /// `execute` must not panic; per-job panic isolation is the caller's
-/// responsibility (both callers wrap jobs in `catch_unwind`).
-pub(crate) fn run_stream<P, T, I, F>(config: &PoolConfig, stream: I, execute: F) -> Vec<T>
+/// responsibility (the sweep engines wrap jobs in `catch_unwind`). `emit` is
+/// called at most once per item, with strictly increasing indices; returning
+/// `false` cancels the run — no further points are pulled, in-flight chunks
+/// finish computing but their results are discarded unemitted. A sweep whose
+/// sink fails therefore stops in `O(workers × chunk)` jobs instead of
+/// grinding through the rest of a mega-grid.
+pub(crate) fn run_stream_emit<P, T, I, F, S>(config: &PoolConfig, stream: I, execute: F, emit: S)
 where
     I: Iterator<Item = P> + Send,
     P: Send,
     T: Send,
     F: Fn(usize, P) -> T + Sync,
+    S: FnMut(usize, T) -> bool + Send,
 {
     let exact_len = match stream.size_hint() {
         (lower, Some(upper)) if lower == upper => Some(upper),
         _ => None,
     };
     if config.threads <= 1 || exact_len.is_some_and(|n| n <= 1) {
-        return stream
-            .enumerate()
-            .map(|(index, item)| execute(index, item))
-            .collect();
+        let mut emit = emit;
+        for (index, item) in stream.enumerate() {
+            let result = execute(index, item);
+            if !emit(index, result) {
+                return;
+            }
+        }
+        return;
     }
 
     let workers = exact_len
         .map_or(config.threads, |n| config.threads.min(n))
         .max(1);
     let chunk = config.chunk.max(1);
+    // If the reorder buffer grows past this, workers pause before pulling
+    // more points; the worker computing the lowest in-flight index never
+    // pauses (it only waits *before* pulling new work), so the drain that
+    // wakes everyone is always coming.
+    let high_water = workers.saturating_mul(chunk).saturating_mul(4).max(16);
     // Claim this sweep's workers from the shared core budget so intra-job
     // simulation shards (sf-simcore) size themselves to the leftover cores
     // instead of oversubscribing the machine. Released on drop, even if a
     // worker's job panics.
     let _reservation = crate::budget::reserve_workers(workers);
     let source = Mutex::new(stream.enumerate());
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new(Vec::new());
+    let sink = Mutex::new(EmitState {
+        pending: BTreeMap::new(),
+        next_emit: 0,
+        emit,
+        stop: false,
+    });
+    let drained = Condvar::new();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                // Backpressure: wait until the reorder buffer has room (or
+                // the run is cancelled) before claiming more points.
+                {
+                    let mut state = sink.lock().expect("emit state poisoned");
+                    while state.pending.len() >= high_water && !state.stop {
+                        state = drained.wait(state).expect("emit state poisoned");
+                    }
+                    if state.stop {
+                        break;
+                    }
+                }
                 // Pull the next chunk of (index, item) pairs; indices come
                 // from the shared enumeration, never from this worker. Run
                 // the chunk without holding any lock, then publish the
-                // finished results into their slots in one short critical
-                // section.
+                // finished results in one short critical section.
                 let pulled: Vec<(usize, P)> = {
                     let mut stream = source.lock().expect("job stream poisoned");
                     stream.by_ref().take(chunk).collect()
@@ -161,23 +224,62 @@ where
                     .into_iter()
                     .map(|(index, item)| (index, execute(index, item)))
                     .collect();
-                let mut guard = slots.lock().expect("result mutex poisoned");
-                for (index, result) in results {
-                    if guard.len() <= index {
-                        guard.resize_with(index + 1, || None);
+                // Notify on every exit from the critical section — including
+                // an unwind out of a panicking emit callback. Without this, a
+                // panic would poison the mutex and leave backpressure-parked
+                // workers waiting on the condvar forever instead of waking
+                // (and propagating the poison panic through the scope).
+                // Declared before `guard` so the guard drops first.
+                let notify = NotifyOnDrop(&drained);
+                let mut guard = sink.lock().expect("emit state poisoned");
+                let state = &mut *guard;
+                if !state.stop {
+                    for (index, result) in results {
+                        state.pending.insert(index, result);
                     }
-                    guard[index] = Some(result);
+                    // Drain the contiguous prefix: whichever worker completes
+                    // the missing index emits everything waiting on it.
+                    loop {
+                        let next = state.next_emit;
+                        let Some(result) = state.pending.remove(&next) else {
+                            break;
+                        };
+                        if !(state.emit)(next, result) {
+                            state.stop = true;
+                        }
+                        state.next_emit = next + 1;
+                        if state.stop {
+                            break;
+                        }
+                    }
+                }
+                let stopped = state.stop;
+                drop(guard);
+                drop(notify);
+                if stopped {
+                    break;
                 }
             });
         }
     });
+}
 
-    slots
-        .into_inner()
-        .expect("result mutex poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("worker pool left a job slot empty"))
-        .collect()
+/// [`run_stream_emit`] collecting the ordered results into a `Vec` — the
+/// eager convenience used by [`run_indexed`] and small sweeps (never
+/// cancels).
+pub(crate) fn run_stream<P, T, I, F>(config: &PoolConfig, stream: I, execute: F) -> Vec<T>
+where
+    I: Iterator<Item = P> + Send,
+    P: Send,
+    T: Send,
+    F: Fn(usize, P) -> T + Sync,
+{
+    let mut results = Vec::new();
+    run_stream_emit(config, stream, execute, |_, result| {
+        results.push(result);
+        true
+    });
+    results
 }
 
 /// Runs `count` indexed jobs through `run`, returning one slot per index.

@@ -15,7 +15,7 @@
 //! holds — a lazy run is bit-identical to the eager run over the collected
 //! points, for any worker count.
 
-use crate::pool::{panic_message, run_stream, PoolConfig};
+use crate::pool::{panic_message, run_stream_emit, PoolConfig};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Derives the RNG seed for job `index` of a sweep with base seed `base`.
@@ -222,14 +222,64 @@ where
         self
     }
 
-    /// Runs `job` over every streamed point on the given pool.
+    /// Runs `job` over every streamed point on the given pool, delivering
+    /// each [`JobOutcome`] to `on_result` **in index order** — the primary
+    /// engine of the bounded-memory run pipeline.
     ///
     /// Workers pull `(index, point)` chunks from the shared iterator under a
     /// lock; which worker pulls a chunk never changes which index a point
-    /// gets, so the report is independent of the worker count. The iterator
-    /// is only advanced as workers consume it. Scheduling (and the worker
-    /// reservation against the shared core budget) is the pool's
-    /// `run_stream` engine — the same machine `run_indexed` uses.
+    /// gets, so the outcome stream is independent of the worker count. A
+    /// completed outcome is buffered only while a smaller index is still in
+    /// flight (with backpressure on the buffer), so a million-point sweep
+    /// whose sink does not store rows peaks at `O(workers × chunk)` memory —
+    /// never `O(points)`. Returns the number of outcomes delivered.
+    ///
+    /// `on_result` returning `false` **cancels** the sweep: no further
+    /// points are pulled from the iterator, in-flight chunks finish but
+    /// their outcomes are discarded — so a mega-sweep whose sink fails
+    /// stops within `O(workers × chunk)` jobs instead of running the rest
+    /// of the grid.
+    ///
+    /// Scheduling (and the worker reservation against the shared core
+    /// budget) is the pool's `run_stream_emit` engine — the same machine
+    /// `run_indexed` and the eager [`Sweep`] use.
+    pub fn run_streaming<R, E, F, S>(self, config: &PoolConfig, job: F, mut on_result: S) -> usize
+    where
+        R: Send,
+        E: Send,
+        I: Send,
+        F: Fn(JobCtx, &P) -> Result<R, E> + Sync,
+        S: FnMut(JobOutcome<R, E>) -> bool + Send,
+    {
+        let base_seed = self.base_seed;
+        let mut delivered = 0usize;
+        run_stream_emit(
+            config,
+            self.points,
+            |index, point| {
+                let ctx = JobCtx {
+                    index,
+                    seed: derive_seed(base_seed, index as u64),
+                };
+                let result = match catch_unwind(AssertUnwindSafe(|| job(ctx, &point))) {
+                    Ok(Ok(row)) => Ok(row),
+                    Ok(Err(e)) => Err(SweepError::Job(e)),
+                    Err(payload) => Err(SweepError::Panic(panic_message(payload.as_ref()))),
+                };
+                JobOutcome { index, result }
+            },
+            |_, outcome| {
+                delivered += 1;
+                on_result(outcome)
+            },
+        );
+        delivered
+    }
+
+    /// Runs `job` over every streamed point and collects the full report —
+    /// [`run_streaming`](Self::run_streaming) with a collecting,
+    /// never-cancelling sink, for sweeps small enough to hold their
+    /// outcomes.
     pub fn run<R, E, F>(self, config: &PoolConfig, job: F) -> SweepReport<R, E>
     where
         R: Send,
@@ -237,18 +287,10 @@ where
         I: Send,
         F: Fn(JobCtx, &P) -> Result<R, E> + Sync,
     {
-        let base_seed = self.base_seed;
-        let outcomes = run_stream(config, self.points, |index, point| {
-            let ctx = JobCtx {
-                index,
-                seed: derive_seed(base_seed, index as u64),
-            };
-            let result = match catch_unwind(AssertUnwindSafe(|| job(ctx, &point))) {
-                Ok(Ok(row)) => Ok(row),
-                Ok(Err(e)) => Err(SweepError::Job(e)),
-                Err(payload) => Err(SweepError::Panic(panic_message(payload.as_ref()))),
-            };
-            JobOutcome { index, result }
+        let mut outcomes = Vec::new();
+        self.run_streaming(config, job, |outcome| {
+            outcomes.push(outcome);
+            true
         });
         SweepReport { outcomes }
     }
@@ -284,10 +326,13 @@ impl<I: Iterator> ExactSizeIterator for KnownLen<I> {}
 /// Lazily enumerates the cross product of two axes in row-major order —
 /// identical order to [`cross2`], without materialising the grid. The
 /// iterator reports its exact length.
-pub fn cross2_lazy<A, B>(outer: Vec<A>, inner: Vec<B>) -> impl ExactSizeIterator<Item = (A, B)>
+pub fn cross2_lazy<A, B>(
+    outer: Vec<A>,
+    inner: Vec<B>,
+) -> impl ExactSizeIterator<Item = (A, B)> + Send
 where
-    A: Clone,
-    B: Clone,
+    A: Clone + Send,
+    B: Clone + Send,
 {
     let remaining = outer.len() * inner.len();
     KnownLen {
@@ -305,11 +350,11 @@ pub fn cross3_lazy<A, B, C>(
     a: Vec<A>,
     b: Vec<B>,
     c: Vec<C>,
-) -> impl ExactSizeIterator<Item = (A, B, C)>
+) -> impl ExactSizeIterator<Item = (A, B, C)> + Send
 where
-    A: Clone,
-    B: Clone,
-    C: Clone,
+    A: Clone + Send,
+    B: Clone + Send,
+    C: Clone + Send,
 {
     let remaining = a.len() * b.len() * c.len();
     KnownLen {
@@ -475,6 +520,86 @@ mod tests {
         assert_eq!(produced.load(Ordering::Relaxed), 10_000);
         let rows = report.into_results().unwrap();
         assert_eq!(rows[4_321], 4_322);
+    }
+
+    #[test]
+    fn run_streaming_delivers_outcomes_in_index_order() {
+        // Jobs with wildly uneven costs (by index parity) still stream out
+        // strictly ordered, for any worker count.
+        for threads in [1, 3, 7] {
+            let mut next = 0usize;
+            let delivered = LazySweep::new(0u64..500).with_base_seed(5).run_streaming(
+                &PoolConfig::threads(threads).with_chunk(4),
+                |ctx, &n| {
+                    if n % 2 == 0 {
+                        std::thread::yield_now();
+                    }
+                    Ok::<u64, std::convert::Infallible>(n + ctx.seed % 2)
+                },
+                |outcome| {
+                    assert_eq!(outcome.index, next, "threads={threads}");
+                    let expected = outcome.index as u64 + derive_seed(5, outcome.index as u64) % 2;
+                    assert_eq!(outcome.result.unwrap(), expected);
+                    next += 1;
+                    true
+                },
+            );
+            assert_eq!(delivered, 500);
+            assert_eq!(next, 500);
+        }
+    }
+
+    #[test]
+    fn cancelling_sink_stops_the_sweep_early() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // The sink cancels at index 10; the engine must stop pulling points
+        // long before the 100_000-point stream is exhausted.
+        for threads in [1, 4] {
+            let executed = AtomicUsize::new(0);
+            let mut seen = 0usize;
+            let delivered = LazySweep::new(0u64..100_000).run_streaming(
+                &PoolConfig::threads(threads).with_chunk(4),
+                |_, &n| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    Ok::<u64, std::convert::Infallible>(n)
+                },
+                |outcome| {
+                    seen += 1;
+                    outcome.index < 10
+                },
+            );
+            assert_eq!(seen, 11, "threads={threads}");
+            assert_eq!(delivered, 11);
+            let ran = executed.load(Ordering::Relaxed);
+            assert!(
+                ran < 1_000,
+                "threads={threads}: {ran} jobs ran after cancel"
+            );
+        }
+    }
+
+    #[test]
+    fn mega_sweep_streams_through_a_counting_sink_without_storing_rows() {
+        // The bounded-memory acceptance check: a 10^5+-point sweep completes
+        // through a sink that counts rows but never stores them. The engine
+        // may only buffer the out-of-order window (backpressured at
+        // O(workers x chunk)), never a full-grid Vec<R>.
+        const POINTS: u64 = 120_000;
+        let mut rows = 0u64;
+        let mut checksum = 0u64;
+        let delivered = LazySweep::new(0..POINTS).run_streaming(
+            &PoolConfig::threads(4).with_chunk(64),
+            |_, &n| Ok::<u64, std::convert::Infallible>(n.wrapping_mul(3)),
+            |outcome| {
+                rows += 1;
+                checksum = checksum.wrapping_add(outcome.result.unwrap());
+                true
+            },
+        );
+        assert_eq!(delivered as u64, POINTS);
+        assert_eq!(rows, POINTS);
+        let expected = (0..POINTS).fold(0u64, |acc, n| acc.wrapping_add(n.wrapping_mul(3)));
+        assert_eq!(checksum, expected);
     }
 
     #[test]
