@@ -36,11 +36,17 @@ if [[ "${1:-}" != "--quick" ]]; then
     sharded_csv="$(mktemp)"
     SF_HARNESS_THREADS=1 SF_SIM_SHARDS=1 \
         "$sfbench" run fig10 --quick --no-resume --csv "$serial_csv" >/dev/null
+    # The sharded run also exercises the observability sinks: tracing and
+    # metrics must stay strictly out-of-band (identical CSV bytes).
     SF_HARNESS_THREADS=2 SF_SIM_SHARDS=2 \
-        "$sfbench" run fig10 --quick --no-resume --csv "$sharded_csv" >/dev/null
+        "$sfbench" run fig10 --quick --no-resume --csv "$sharded_csv" \
+        --trace "$sharded_csv.trace.jsonl" --metrics "$sharded_csv.metrics.json" >/dev/null
     cmp "$serial_csv" "$sharded_csv"
-    rm -f "$serial_csv" "$sharded_csv"
-    echo "==> smoke artifacts byte-identical"
+    test -s "$sharded_csv.trace.jsonl"
+    grep -q '"schema": "sf-metrics/v1"' "$sharded_csv.metrics.json"
+    grep -q '"sim.delivered"' "$sharded_csv.metrics.json"
+    rm -f "$serial_csv" "$sharded_csv" "$sharded_csv.trace.jsonl" "$sharded_csv.metrics.json"
+    echo "==> smoke artifacts byte-identical (with tracing + metrics on the sharded run)"
 
     # Checkpoint/resume smoke: start a run, kill -9 it after the journal has
     # flushed at least one completed job, rerun the same command (which
@@ -73,35 +79,19 @@ if [[ "${1:-}" != "--quick" ]]; then
     # A serial uninterrupted run is the reference; a 2-worker run with a
     # tiny --max-journal-bytes (forcing >= 1 journal compaction), killed
     # mid-sweep and resumed with the same command, must emit byte-identical
-    # rows. Peak RSS of the reference run is logged as a coarse memory
-    # regression signal for the streaming path.
+    # rows. Peak RSS comes from the run's own in-process probe (VmHWM from
+    # /proc/self/status) — exact, and immune to the 0 kB race the external
+    # /usr/bin/time and polling samplers suffered.
     echo "==> sfbench run megasweep --quick streaming smoke (compaction + kill + resume)"
     mega_serial_csv="$(mktemp)"
     mega_resume_csv="$(mktemp)"
     rm -f "$mega_resume_csv.journal"
-    if [[ -x /usr/bin/time ]]; then
-        SF_HARNESS_THREADS=1 /usr/bin/time -v \
-            "$sfbench" run megasweep --quick --no-resume --csv "$mega_serial_csv" \
-            >/dev/null 2>"$mega_serial_csv.time"
-        grep -i "maximum resident" "$mega_serial_csv.time" \
-            | sed 's/^[[:space:]]*/    megasweep --quick peak RSS: /' || true
-        rm -f "$mega_serial_csv.time"
-    else
-        # No GNU time: poll the kernel's own high-water mark (VmHWM) while
-        # the run executes; the last sample IS the peak.
-        SF_HARNESS_THREADS=1 \
-            "$sfbench" run megasweep --quick --no-resume --csv "$mega_serial_csv" \
-            >/dev/null 2>&1 &
-        rss_pid=$!
-        peak_kb=0
-        while kill -0 "$rss_pid" 2>/dev/null; do
-            cur=$(awk '/VmHWM/ {print $2}' "/proc/$rss_pid/status" 2>/dev/null || true)
-            [[ -n "${cur:-}" ]] && (( cur > peak_kb )) && peak_kb=$cur
-            sleep 0.02
-        done
-        wait "$rss_pid"
-        echo "    megasweep --quick peak RSS: ${peak_kb} kB"
-    fi
+    SF_HARNESS_THREADS=1 \
+        "$sfbench" run megasweep --quick --no-resume --csv "$mega_serial_csv" \
+        >/dev/null 2>"$mega_serial_csv.log"
+    grep "peak RSS" "$mega_serial_csv.log" \
+        | sed 's/^#[[:space:]]*/    megasweep --quick /' || true
+    rm -f "$mega_serial_csv.log"
     SF_HARNESS_THREADS=2 "$sfbench" run megasweep --quick \
         --csv "$mega_resume_csv" --max-journal-bytes 256 >/dev/null 2>&1 &
     mega_pid=$!
@@ -136,6 +126,18 @@ if [[ "${1:-}" != "--quick" ]]; then
     cmp "$fault_serial_csv" "$fault_sharded_csv"
     rm -f "$fault_serial_csv" "$fault_sharded_csv"
     echo "==> fault-scenario artifacts byte-identical"
+
+    # Perf trajectory: record this PR's in-process bench snapshot and gate
+    # against the newest prior BENCH_*.json (wall-clock > +25% on a probe,
+    # or peak RSS > +10%, fails the build). The first run only records.
+    echo "==> sfbench bench (perf snapshot BENCH_6.json)"
+    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_6\.json$' | sort -V | tail -1 || true)"
+    if [[ -n "${prev_bench:-}" ]]; then
+        "$sfbench" bench --label BENCH_6 --out BENCH_6.json --baseline "$prev_bench"
+    else
+        "$sfbench" bench --label BENCH_6 --out BENCH_6.json
+        echo "    no prior BENCH_*.json snapshot; recorded baseline only"
+    fi
 fi
 
 echo "==> CI green"

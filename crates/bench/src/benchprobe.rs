@@ -1,0 +1,210 @@
+//! The `sfbench bench` subcommand: in-process perf probes emitting a
+//! schema-versioned [`BenchReport`] snapshot (`BENCH_<n>.json`).
+//!
+//! Three probe families run, mirroring the Criterion micro-benches but
+//! inside one process so the peak-RSS figure comes from `/proc/self/status`
+//! (no external `/usr/bin/time` race, no `0 kB` fallback):
+//!
+//! - `shard_sync/<k>` — a 128-node String Figure simulation with 1, 2, and
+//!   4 router shards (the per-cycle synchronisation tax probe).
+//! - `simulator_throughput/<n>` — cycle-level throughput on 64- and
+//!   256-node networks.
+//! - `fig10_quick` — the fig10 saturation study at `--quick` scale through
+//!   the real [`execute`] path: sweep pool, journal, sink and all.
+//!
+//! With `--baseline PATH` the fresh snapshot is diffed against a prior one;
+//! regressions (wall-clock beyond [`sf_obs::report::WALL_TOLERANCE`], RSS
+//! beyond [`sf_obs::report::RSS_TOLERANCE`]) exit non-zero so ci.sh can
+//! gate on the perf trajectory.
+
+use std::time::{Duration, Instant};
+
+use sf_netsim::{NetworkSimulator, UniformRandomTraffic};
+use sf_obs::progress::Progress;
+use sf_obs::report::{BenchEntry, BenchReport};
+use sf_routing::GreediestRouting;
+use sf_topology::StringFigureTopology;
+use sf_types::{NetworkConfig, SimulationConfig, SystemConfig};
+use stringfigure::study::{execute, RunContext, StudyRegistry};
+
+use crate::cli::CliArgs;
+
+/// Boolean flags `sfbench bench` accepts.
+pub const BENCH_BOOL_FLAGS: &[&str] = &["--quiet"];
+
+/// Value-carrying flags `sfbench bench` accepts.
+pub const BENCH_VALUE_FLAGS: &[&str] = &["--out", "--baseline", "--samples", "--label"];
+
+const DEFAULT_SAMPLES: u32 = 3;
+
+/// Runs one simulation identical to the Criterion `shard_sync` /
+/// `simulator_throughput` benches (same topology, traffic, seed, scale).
+fn run_sim(nodes: usize, ports: usize, shards: usize, max_cycles: u64, warmup_cycles: u64) {
+    let topo = StringFigureTopology::generate(
+        &NetworkConfig::new(nodes, ports).expect("bench network config"),
+    )
+    .expect("bench topology");
+    let mut sim = NetworkSimulator::new(
+        topo.graph().clone(),
+        Box::new(GreediestRouting::new(&topo)),
+        SystemConfig::default(),
+        SimulationConfig {
+            max_cycles,
+            warmup_cycles,
+            shards,
+            ..SimulationConfig::default()
+        },
+    )
+    .expect("bench simulator");
+    let mut traffic = UniformRandomTraffic::new(nodes, 0.1, 11);
+    let stats = sim.run(&mut traffic).expect("bench simulation");
+    std::hint::black_box(stats);
+}
+
+fn timed<F: FnMut()>(samples: u32, mut work: F) -> Vec<Duration> {
+    let mut out = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let started = Instant::now();
+        work();
+        out.push(started.elapsed());
+    }
+    out
+}
+
+fn push_entry(entries: &mut Vec<BenchEntry>, progress: &Progress, name: &str, runs: &[Duration]) {
+    let wall_ms = BenchReport::median_ms(runs);
+    progress.note(&format!("# bench {name}: {wall_ms:.3} ms median"));
+    entries.push(BenchEntry {
+        name: name.to_string(),
+        wall_ms,
+        samples: runs.len() as u32,
+    });
+}
+
+/// Entry point for `sfbench bench`; returns the process exit code.
+#[must_use]
+pub fn run(args: &CliArgs) -> i32 {
+    let unknown = args.unknown_flags(BENCH_BOOL_FLAGS, BENCH_VALUE_FLAGS);
+    if !unknown.is_empty() {
+        eprintln!(
+            "error: unknown or malformed flag(s) {}; known: {} {}",
+            unknown.join(", "),
+            BENCH_BOOL_FLAGS.join(" "),
+            BENCH_VALUE_FLAGS.join(" ")
+        );
+        return 2;
+    }
+    let quiet = args.flag("--quiet");
+    let progress = Progress::global();
+    progress.configure(quiet);
+    let samples = args
+        .usize_value("--samples")
+        .map_or(DEFAULT_SAMPLES, |n| n.max(1) as u32);
+    let label = args.value("--label").unwrap_or_else(|| "BENCH".to_string());
+
+    let mut entries = Vec::new();
+    for &shards in &[1usize, 2, 4] {
+        let runs = timed(samples, || run_sim(128, 4, shards, 800, 100));
+        push_entry(
+            &mut entries,
+            progress,
+            &format!("shard_sync/{shards}"),
+            &runs,
+        );
+    }
+    for &nodes in &[64usize, 256] {
+        let ports = if nodes <= 128 { 4 } else { 8 };
+        let runs = timed(samples, || run_sim(nodes, ports, 0, 2_000, 200));
+        push_entry(
+            &mut entries,
+            progress,
+            &format!("simulator_throughput/{nodes}"),
+            &runs,
+        );
+    }
+    // The fig10 probe exercises the full study path (sweep pool, sink,
+    // journal); its own notes and heartbeat are silenced so the probe
+    // measures the pipeline, not terminal I/O.
+    let registry = StudyRegistry::all();
+    if let Some(study) = registry.get("fig10") {
+        progress.configure(true);
+        let ctx = RunContext::new().quick(true);
+        let mut failed = false;
+        let runs = timed(1, || {
+            if let Err(e) = execute(study, &ctx) {
+                eprintln!("error: fig10_quick probe failed: {e}");
+                failed = true;
+            }
+        });
+        progress.configure(quiet);
+        if failed {
+            return 1;
+        }
+        push_entry(&mut entries, progress, "fig10_quick", &runs);
+    }
+
+    let report = BenchReport {
+        label,
+        peak_rss_kb: sf_obs::rss::peak_rss_kb().unwrap_or(0),
+        entries,
+    };
+    progress.note(&format!("# bench peak RSS: {} kB", report.peak_rss_kb));
+
+    if let Some(path) = args.value("--out") {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        }
+        progress.note(&format!("# wrote {path}"));
+    } else {
+        print!("{}", report.to_json());
+    }
+
+    if let Some(path) = args.value("--baseline") {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match BenchReport::parse(&text) {
+                Some(baseline) => {
+                    let problems = report.regressions_vs(&baseline);
+                    if !problems.is_empty() {
+                        for problem in &problems {
+                            eprintln!("error: perf regression vs {}: {problem}", baseline.label);
+                        }
+                        return 1;
+                    }
+                    progress.note(&format!(
+                        "# no perf regressions vs {} ({path})",
+                        baseline.label
+                    ));
+                }
+                None => {
+                    eprintln!("# warning: baseline {path} has an unknown schema; recording only")
+                }
+            },
+            Err(e) => eprintln!("# warning: cannot read baseline {path}: {e}; recording only"),
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_flag_sets_do_not_overlap_with_unknowns() {
+        let args = CliArgs::new(vec![
+            "--out".to_string(),
+            "b.json".to_string(),
+            "--samples=2".to_string(),
+            "--quiet".to_string(),
+        ]);
+        assert!(args
+            .unknown_flags(BENCH_BOOL_FLAGS, BENCH_VALUE_FLAGS)
+            .is_empty());
+        let bad = CliArgs::new(vec!["--quick".to_string()]);
+        assert_eq!(
+            bad.unknown_flags(BENCH_BOOL_FLAGS, BENCH_VALUE_FLAGS),
+            vec!["--quick".to_string()]
+        );
+    }
+}

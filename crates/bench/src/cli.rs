@@ -8,6 +8,7 @@
 //! sfbench grid fig10 --quick            # sweep axes and job count
 //! sfbench run fig10 --quick --csv f.csv # run a study, emit artifacts
 //! sfbench run fault_resilience --quick  # an extended scenario study
+//! sfbench bench --out BENCH_6.json      # perf snapshot + regression gate
 //! ```
 //!
 //! The historical per-figure binaries (`fig10_saturation`, …) are shims
@@ -29,7 +30,7 @@
 use stringfigure::study::{execute, print_result_table, RunContext, Study, StudyRegistry};
 
 /// Boolean flags `sfbench run` (and the shim binaries) accept.
-pub const RUN_BOOL_FLAGS: &[&str] = &["--quick", "--no-resume"];
+pub const RUN_BOOL_FLAGS: &[&str] = &["--quick", "--no-resume", "--quiet"];
 
 /// Value-carrying flags `sfbench run` (and the shim binaries) accept.
 pub const RUN_VALUE_FLAGS: &[&str] = &[
@@ -38,6 +39,8 @@ pub const RUN_VALUE_FLAGS: &[&str] = &[
     "--json",
     "--checkpoint",
     "--max-journal-bytes",
+    "--trace",
+    "--metrics",
 ];
 
 /// Parsed command-line arguments: the one flag-parsing code path shared by
@@ -193,20 +196,103 @@ fn run_study(study: &dyn Study, args: &CliArgs) -> i32 {
         );
         return 2;
     }
-    eprintln!("# {}: {}", study.artefact(), study.description());
+    let progress = sf_obs::progress::Progress::global();
+    progress.configure(args.flag("--quiet"));
+    let trace_path = args.value("--trace");
+    let metrics_path = args.value("--metrics");
+    if trace_path.is_some() || metrics_path.is_some() {
+        sf_obs::span::set_timing(true);
+    }
+    if let Some(path) = &trace_path {
+        if let Err(e) = sf_obs::span::Tracer::global().open_trace(std::path::Path::new(path)) {
+            eprintln!("error: cannot open trace file {path}: {e}");
+            return 1;
+        }
+    }
+    progress.note(&format!("# {}: {}", study.artefact(), study.description()));
     crate::announce_pool();
     let ctx = context_from_args(args);
-    match execute(study, &ctx) {
+    let code = match execute(study, &ctx) {
         Ok(table) => {
-            print_result_table(&table);
-            study.print_extras(&table);
+            // The result table and figure extras are human-facing summaries;
+            // the artifacts (--csv/--json) are written regardless.
+            if !progress.is_quiet() {
+                print_result_table(&table);
+                study.print_extras(&table);
+            }
             0
         }
         Err(e) => {
             eprintln!("error: {} failed: {e}", study.name());
             1
         }
+    };
+    finish_observability(progress, metrics_path.as_deref());
+    code
+}
+
+/// Flushes whatever observability sinks the run opened: the JSONL trace
+/// file, the metrics JSON document, and — whenever timing ran — a
+/// self-profiling span summary (top phases by inclusive time) on stderr.
+fn finish_observability(progress: &sf_obs::progress::Progress, metrics_path: Option<&str>) {
+    let tracer = sf_obs::span::Tracer::global();
+    match tracer.finish_trace() {
+        Ok(Some(path)) => progress.note(&format!("# wrote trace {}", path.display())),
+        Ok(None) => {}
+        Err(e) => eprintln!("# warning: trace flush failed: {e}"),
     }
+    if let Some(path) = metrics_path {
+        match std::fs::write(path, metrics_document()) {
+            Ok(()) => progress.note(&format!("# wrote metrics {path}")),
+            Err(e) => eprintln!("# warning: cannot write metrics {path}: {e}"),
+        }
+    }
+    if sf_obs::span::timing_enabled() {
+        let summary = tracer.summary();
+        if !summary.is_empty() {
+            progress.note("# span summary (inclusive time, descending):");
+            for row in summary.iter().take(10) {
+                progress.note(&format!(
+                    "#   {:<24} {:>10}x  total {:>10.3} ms  max {:>8.3} ms",
+                    row.name,
+                    row.agg.count,
+                    row.agg.total.as_secs_f64() * 1e3,
+                    row.agg.max.as_secs_f64() * 1e3,
+                ));
+            }
+        }
+    }
+    // The in-process peak-RSS probe (VmHWM from /proc/self/status): exact
+    // where an external sampler races the process teardown, and available
+    // without GNU time. ci.sh reads this note for its memory trend line.
+    if let Some(kb) = sf_obs::rss::peak_rss_kb() {
+        progress.note(&format!("# peak RSS: {kb} kB"));
+    }
+}
+
+/// The `--metrics` document: span aggregates plus the flat metrics registry
+/// snapshot, under one schema tag. Values under `time.`/`sched.` (and all
+/// span timings) are wall-clock and vary run to run; everything else is
+/// deterministic for a given study and scale.
+fn metrics_document() -> String {
+    let summary = sf_obs::span::Tracer::global().summary();
+    let snapshot = sf_obs::metrics::global().snapshot();
+    let mut out = String::from("{\n\"schema\": \"sf-metrics/v1\",\n\"spans\": [\n");
+    for (i, row) in summary.iter().enumerate() {
+        let comma = if i + 1 == summary.len() { "" } else { "," };
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"count\": {}, \"total_us\": {}, \"max_us\": {}}}{comma}\n",
+            row.name,
+            row.agg.count,
+            row.agg.total.as_micros(),
+            row.agg.max.as_micros(),
+        ));
+    }
+    out.push_str("],\n\"metrics\": ");
+    let metrics_json = snapshot.to_json();
+    out.push_str(metrics_json.trim_end());
+    out.push_str("\n}\n");
+    out
 }
 
 fn unknown_study(name: &str, registry: &StudyRegistry) -> i32 {
@@ -225,6 +311,7 @@ fn print_usage() {
          \x20 list                     studies in the registry (paper + extended scenarios)\n\
          \x20 grid <study> [--quick]   sweep axes and job count of a study\n\
          \x20 run <study> [options]    run a study\n\
+         \x20 bench [options]          in-process perf probes; emits a BENCH_<n>.json snapshot\n\
          \n\
          run options:\n\
          \x20 --quick                  reduced smoke scale\n\
@@ -234,6 +321,16 @@ fn print_usage() {
          \x20 --checkpoint PATH        journal completed jobs at PATH\n\
          \x20 --no-resume              do not journal/resume alongside --csv\n\
          \x20 --max-journal-bytes N    compact the journal once it exceeds N bytes\n\
+         \x20 --quiet                  suppress progress output and result tables\n\
+         \x20 --trace PATH             write a JSONL span trace (phase timing)\n\
+         \x20 --metrics PATH           write the metrics + span-summary JSON document\n\
+         \n\
+         bench options:\n\
+         \x20 --out PATH               write the snapshot JSON (default: stdout)\n\
+         \x20 --baseline PATH          compare against a prior snapshot; exit 1 on regression\n\
+         \x20 --samples N              timed samples per micro-probe (default 3)\n\
+         \x20 --label NAME             snapshot label, conventionally BENCH_<pr>\n\
+         \x20 --quiet                  suppress progress notes\n\
          \n\
          With --csv, completed jobs are journalled to PATH.journal; rerunning\n\
          the same command after an interruption resumes and produces a CSV\n\
@@ -286,6 +383,7 @@ pub fn main(args: Vec<String>) -> i32 {
             };
             run_study(study, &CliArgs::new(args.collect()))
         }
+        Some("bench") => crate::benchprobe::run(&CliArgs::new(args.collect())),
         None | Some("help" | "--help" | "-h") => {
             print_usage();
             0

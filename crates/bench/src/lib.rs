@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod benchprobe;
 pub mod cli;
 
 pub use stringfigure::study::{fmt_f, fmt_percent, print_table};
@@ -47,12 +48,13 @@ pub fn arg_value(flag: &str) -> Option<String> {
 /// (`SF_CORES`), so a sweep that claims W workers leaves `budget / W` cores
 /// for each job's shards.
 pub fn announce_pool() {
+    let progress = sf_obs::progress::Progress::global();
     let pool = sf_harness::PoolConfig::auto();
-    eprintln!(
+    progress.note(&format!(
         "# sf-harness: {} sweep worker(s) (override with {}=N)",
         pool.threads,
         sf_harness::PoolConfig::THREADS_ENV
-    );
+    ));
     // Mirror resolve_shard_count's precedence: --shards beats the
     // environment variable beats the automatic policy.
     let flag = shard_override();
@@ -69,7 +71,9 @@ pub fn announce_pool() {
             sf_harness::budget::CORES_ENV,
         )
     };
-    eprintln!("# sf-simcore: simulation shards per job: {policy}");
+    progress.note(&format!(
+        "# sf-simcore: simulation shards per job: {policy}"
+    ));
 }
 
 /// The intra-simulation shard count requested with `--shards N` on the
@@ -91,13 +95,14 @@ pub fn shard_override() -> usize {
 ///
 /// Propagates filesystem errors from writing the artifact files.
 pub fn emit_table(table: &sf_harness::Table) -> std::io::Result<()> {
+    let progress = sf_obs::progress::Progress::global();
     if let Some(path) = arg_value("--csv") {
         std::fs::write(&path, table.to_csv())?;
-        eprintln!("# wrote {path} ({} rows)", table.len());
+        progress.note(&format!("# wrote {path} ({} rows)", table.len()));
     }
     if let Some(path) = arg_value("--json") {
         std::fs::write(&path, table.to_json())?;
-        eprintln!("# wrote {path} ({} rows)", table.len());
+        progress.note(&format!("# wrote {path} ({} rows)", table.len()));
     }
     Ok(())
 }

@@ -143,10 +143,13 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
         let csv = format!("{}.csv", study.name());
         let json = format!("{}.json", study.name());
         let checkpoint = format!("{}.journal", study.name());
+        let trace = format!("{}.trace.jsonl", study.name());
+        let metrics = format!("{}.metrics.json", study.name());
         let shards = (i % 4) + 1;
         let invocation = args(&[
             "--quick".to_string(),
             "--no-resume".to_string(),
+            "--quiet".to_string(),
             format!("--shards={shards}"),
             "--csv".to_string(),
             csv.clone(),
@@ -155,6 +158,9 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
             format!("--checkpoint={checkpoint}"),
             "--max-journal-bytes".to_string(),
             "4096".to_string(),
+            "--trace".to_string(),
+            trace.clone(),
+            format!("--metrics={metrics}"),
         ]);
         for flag in RUN_BOOL_FLAGS {
             assert!(invocation.flag(flag), "{}: {flag}", study.name());
@@ -167,6 +173,11 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
             Some(checkpoint.as_str())
         );
         assert_eq!(invocation.usize_value("--max-journal-bytes"), Some(4096));
+        assert_eq!(invocation.value("--trace").as_deref(), Some(trace.as_str()));
+        assert_eq!(
+            invocation.value("--metrics").as_deref(),
+            Some(metrics.as_str())
+        );
         assert!(
             invocation
                 .unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS)

@@ -159,6 +159,10 @@ impl NetworkInstance {
     ///
     /// Propagates topology construction errors (e.g. too few nodes).
     pub fn build(kind: TopologyKind, nodes: usize, seed: u64) -> SfResult<Self> {
+        // Timed here rather than at the cache front-ends so every real
+        // construction is visible whichever cache (or none) requested it;
+        // cache hits never reach this function.
+        let _span = sf_obs::span::Tracer::global().span("topology_build");
         let ports = kind.figure8_ports(nodes);
         let topology = match kind {
             TopologyKind::DistributedMesh => {

@@ -522,11 +522,11 @@ impl RunContext {
             reason: format!("cannot compact checkpoint journal {}: {e}", path.display()),
         })?;
         if compacted {
-            eprintln!(
+            sf_obs::progress::Progress::global().note(&format!(
                 "# compacted checkpoint journal {} to {} byte(s)",
                 path.display(),
                 journal.len_bytes()
-            );
+            ));
         }
         let restored = journal.restored_count();
         let _ = self.journal.set(journal);
@@ -582,7 +582,10 @@ impl RunContext {
         let journal = self.journal.get();
         let mut failure: Option<SfError> = None;
         let mut delivered = 0usize;
-        LazySweep::new(points.into_iter()).run_streaming(
+        let points = points.into_iter();
+        let progress = sf_obs::progress::Progress::global();
+        progress.start_sweep(points.len());
+        LazySweep::new(points).run_streaming(
             &self.pool,
             |jctx, point| {
                 if let Some(journal) = journal {
@@ -611,6 +614,7 @@ impl RunContext {
                     Ok(row) => match on_row(outcome.index, row) {
                         Ok(()) => {
                             delivered += 1;
+                            progress.tick(1, 1);
                             true
                         }
                         Err(e) => {
@@ -631,6 +635,7 @@ impl RunContext {
                 }
             },
         );
+        progress.finish_sweep();
         match failure {
             Some(e) => Err(e),
             None => Ok(delivered),
@@ -754,7 +759,7 @@ impl RowStream {
             sink.finish().map_err(|e| SfError::Simulation {
                 reason: format!("cannot write artifact {path}: {e}"),
             })?;
-            eprintln!("# wrote {path} ({rows} rows)");
+            sf_obs::progress::Progress::global().note(&format!("# wrote {path} ({rows} rows)"));
         }
         Ok(())
     }
@@ -882,14 +887,16 @@ pub fn study_fingerprint(study: &dyn Study, ctx: &RunContext) -> u64 {
 /// Propagates study and emitter errors; on error the journal is kept so the
 /// run can be resumed.
 pub fn execute(study: &dyn Study, ctx: &RunContext) -> SfResult<Table> {
+    let progress = sf_obs::progress::Progress::global();
+    progress.set_task(study.name());
     let restored = ctx.resume_checkpoint(study_fingerprint(study, ctx))?;
     if restored > 0 {
-        eprintln!(
+        progress.note(&format!(
             "# resuming {}: {restored} job(s) restored from {}",
             study.name(),
             ctx.checkpoint_path()
                 .map_or_else(String::new, |p| p.display().to_string()),
-        );
+        ));
     }
     let table = study.run(ctx)?;
     // Streaming studies already wrote their artifacts row by row; emitting
@@ -898,6 +905,14 @@ pub fn execute(study: &dyn Study, ctx: &RunContext) -> SfResult<Table> {
         ctx.emit(&table)?;
     }
     if let Some(journal) = ctx.journal() {
+        // Journal health — reported before the (successful) run deletes it.
+        progress.note(&format!(
+            "# journal {}: {} byte(s), {} job(s) restored, {} compaction(s)",
+            journal.path().display(),
+            journal.len_bytes(),
+            journal.restored_count(),
+            journal.compactions(),
+        ));
         journal.finish().map_err(|e| SfError::Simulation {
             reason: format!("cannot remove checkpoint journal: {e}"),
         })?;

@@ -172,9 +172,13 @@ impl<K: Eq + Hash, V> BuildCache<K, V> {
             let stamp = guard.tick();
             if let Some(hit) = guard.entries.get_mut(&key) {
                 hit.last_used = stamp;
+                // Hit/miss counts depend on which worker reaches a key first,
+                // hence the nondeterministic `sched.` namespace.
+                sf_obs::metrics::global().counter_add("sched.cache_hits", 1);
                 return Ok(Arc::clone(&hit.value));
             }
         }
+        sf_obs::metrics::global().counter_add("sched.cache_misses", 1);
         let started = Instant::now();
         let built = Arc::new(build()?);
         let cost_ns = cost.unwrap_or_else(|| started.elapsed().as_nanos());

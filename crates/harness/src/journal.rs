@@ -155,6 +155,10 @@ impl Journal {
             file.flush()?;
             valid_len = header.len() as u64;
         }
+        if !restored.is_empty() {
+            sf_obs::metrics::global()
+                .counter_add("journal.restored_entries", restored.len() as u64);
+        }
         Ok(Self {
             path,
             fingerprint,
@@ -212,11 +216,16 @@ impl Journal {
     ///
     /// Propagates filesystem errors from the append (or the compaction).
     pub fn record(&self, sweep: u64, index: u64, cells: &[Value]) -> io::Result<()> {
+        let io_timer = sf_obs::span::timing_start();
         let line = format!("{sweep},{index},{}\n", encode_csv_line(cells));
         let mut writer = self.writer.lock().expect("journal writer poisoned");
         writer.file.write_all(line.as_bytes())?;
         writer.file.flush()?;
         writer.bytes += line.len() as u64;
+        sf_obs::span::timing_add("journal_io", io_timer, 1);
+        let metrics = sf_obs::metrics::global();
+        metrics.counter_add("journal.appends", 1);
+        metrics.counter_add("journal.bytes_appended", line.len() as u64);
         if let Some(limit) = self.max_bytes {
             // The doubling guard: a snapshot that is still over the limit
             // (all live state) must not trigger a rewrite per append.
@@ -262,6 +271,10 @@ impl Journal {
     /// The compaction body; the caller holds the writer lock, so no append
     /// can interleave with the rewrite.
     fn compact_locked(&self, writer: &mut Writer) -> io::Result<u64> {
+        // Compaction count depends on append interleaving across workers, so
+        // the counter lives in the nondeterministic `sched.` namespace.
+        let compact_timer = sf_obs::span::timing_start();
+        sf_obs::metrics::global().counter_add("sched.journal_compactions", 1);
         writer.file.flush()?;
         // The journal keeps no in-memory copy of entries recorded this run,
         // so the live state is re-read from the log itself: restored map
@@ -294,6 +307,7 @@ impl Journal {
         writer.bytes = snapshot.len() as u64;
         writer.compacted_bytes = writer.bytes;
         writer.compactions += 1;
+        sf_obs::span::timing_add("journal_compact", compact_timer, 1);
         Ok(writer.bytes)
     }
 

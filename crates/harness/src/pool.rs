@@ -163,12 +163,15 @@ where
     };
     if config.threads <= 1 || exact_len.is_some_and(|n| n <= 1) {
         let mut emit = emit;
+        let mut completed = 0u64;
         for (index, item) in stream.enumerate() {
             let result = execute(index, item);
+            completed += 1;
             if !emit(index, result) {
-                return;
+                break;
             }
         }
+        sf_obs::metrics::global().counter_add("pool.jobs_completed", completed);
         return;
     }
 
@@ -201,11 +204,19 @@ where
                 // Backpressure: wait until the reorder buffer has room (or
                 // the run is cancelled) before claiming more points.
                 {
+                    let wait_timer = sf_obs::span::timing_start();
                     let mut state = sink.lock().expect("emit state poisoned");
+                    let mut waited = false;
                     while state.pending.len() >= high_water && !state.stop {
+                        waited = true;
                         state = drained.wait(state).expect("emit state poisoned");
                     }
-                    if state.stop {
+                    let stop = state.stop;
+                    drop(state);
+                    if waited {
+                        sf_obs::span::timing_add("pool_backpressure_wait", wait_timer, 1);
+                    }
+                    if stop {
                         break;
                     }
                 }
@@ -224,6 +235,9 @@ where
                     .into_iter()
                     .map(|(index, item)| (index, execute(index, item)))
                     .collect();
+                // On a run that completes (no cancellation) every index runs
+                // exactly once, so the summed count is worker-independent.
+                sf_obs::metrics::global().counter_add("pool.jobs_completed", results.len() as u64);
                 // Notify on every exit from the critical section — including
                 // an unwind out of a panicking emit callback. Without this, a
                 // panic would poison the mutex and leave backpressure-parked

@@ -138,6 +138,7 @@ impl RowSink {
     ///
     /// Propagates filesystem errors; on error the destination is untouched.
     pub fn finish(mut self) -> io::Result<()> {
+        let flush_timer = sf_obs::span::timing_start();
         if self.format == SinkFormat::Json {
             if self.rows > 0 {
                 self.writer.write_all(b"\n")?;
@@ -145,10 +146,16 @@ impl RowSink {
             self.writer.write_all(b"]\n")?;
         }
         self.writer.flush()?;
+        let bytes = self.writer.get_ref().metadata().map_or(0, |m| m.len());
         // Only a successful rename counts as finished; a failure here must
         // still have Drop remove the orphaned .part file.
         std::fs::rename(&self.part, &self.path)?;
         self.finished = true;
+        sf_obs::span::timing_add("sink_flush", flush_timer, 1);
+        let metrics = sf_obs::metrics::global();
+        metrics.counter_add("sink.rows", self.rows as u64);
+        metrics.counter_add("sink.bytes", bytes);
+        metrics.counter_add("sink.artifacts", 1);
         Ok(())
     }
 }

@@ -130,7 +130,9 @@ impl NetworkSimulator {
     /// Returns a routing error if the protocol cannot make a forwarding
     /// decision (for example because the traffic model targets a gated node).
     pub fn run(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<SimulationStats> {
-        self.inner.run(traffic)
+        let stats = self.inner.run(traffic)?;
+        record_run_metrics(&stats);
+        Ok(stats)
     }
 
     /// Number of packets currently queued, in flight, or awaiting DRAM
@@ -145,6 +147,32 @@ impl NetworkSimulator {
     pub fn memory_stats(&self) -> Vec<crate::memory::MemoryNodeStats> {
         self.inner.memory_stats()
     }
+}
+
+/// Folds one finished run's integer statistics into the global `sim.*`
+/// metrics namespace. Every value here is an integer the kernel already
+/// guarantees bit-identical across shard counts, and counter merge is
+/// commutative, so the aggregated metrics inherit the determinism contract.
+fn record_run_metrics(stats: &SimulationStats) {
+    let metrics = sf_obs::metrics::global();
+    metrics.counter_add("sim.runs", 1);
+    metrics.counter_add("sim.cycles", stats.cycles);
+    metrics.counter_add("sim.injected", stats.injected);
+    metrics.counter_add("sim.delivered", stats.delivered);
+    metrics.counter_add("sim.completed_requests", stats.completed_requests);
+    metrics.counter_add("sim.total_hops", stats.total_hops);
+    metrics.counter_add("sim.blocked_forwards", stats.blocked_forwards);
+    metrics.counter_add("sim.dropped_packets", stats.dropped_packets);
+    metrics.counter_add("sim.link_down_events", stats.link_down_events);
+    metrics.counter_add("sim.router_down_events", stats.router_down_events);
+    metrics.gauge_max("sim.max_latency_cycles", stats.max_latency_cycles);
+    // Distribution of per-run average latency in power-of-two cycle buckets:
+    // the bucket index of a bit-identical float is itself deterministic.
+    metrics.observe(
+        "sim.avg_latency_cycles",
+        stats.average_latency_cycles(),
+        &sf_obs::hist::Histogram::exponential(12),
+    );
 }
 
 #[cfg(test)]

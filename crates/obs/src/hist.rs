@@ -1,0 +1,195 @@
+//! Fixed-bucket histograms with a textual encoding designed for exact
+//! round-trips.
+//!
+//! A histogram is a strictly increasing list of finite upper bounds plus
+//! `bounds.len() + 1` bucket counts (the last bucket is the overflow bucket
+//! for values above every bound). Only the integer counts are stored — no
+//! floating-point sum — so merging two histograms (bucketwise add) is
+//! commutative and associative and therefore order-independent: the merged
+//! result is bit-identical no matter how worker-local shards are combined.
+
+/// A fixed-bucket histogram: values are classified into the first bucket
+/// whose upper bound is `>=` the value, or the overflow bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+/// Magic prefix of the textual encoding; bump on format changes.
+const ENCODING_TAG: &str = "sfh1";
+
+impl Histogram {
+    /// Creates an empty histogram. `bounds` must be finite and strictly
+    /// increasing; returns `None` otherwise (including empty bounds).
+    #[must_use]
+    pub fn new(bounds: &[f64]) -> Option<Self> {
+        if bounds.is_empty()
+            || bounds.iter().any(|b| !b.is_finite())
+            || bounds.windows(2).any(|w| w[0] >= w[1])
+        {
+            return None;
+        }
+        Some(Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+        })
+    }
+
+    /// Power-of-two bounds `1, 2, 4, … 2^(n-1)` — the default shape for
+    /// cycle-count distributions.
+    #[must_use]
+    pub fn exponential(buckets: usize) -> Self {
+        let bounds: Vec<f64> = (0..buckets.max(1)).map(|i| (1u64 << i) as f64).collect();
+        Self::new(&bounds).expect("power-of-two bounds are strictly increasing")
+    }
+
+    /// Upper bounds of the finite buckets.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Bucket counts (`bounds().len() + 1` entries; last is overflow).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Records one observation. NaN lands in the overflow bucket (it compares
+    /// greater than every bound under `partial_cmp`-style `<=` checks).
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+    }
+
+    /// Bucketwise add. Returns `false` (leaving `self` untouched) when the
+    /// bucket bounds differ — merging histograms of different shapes would
+    /// silently corrupt both.
+    #[must_use]
+    pub fn merge(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        true
+    }
+
+    /// Bucketwise saturating subtract (for computing deltas against a
+    /// baseline snapshot). Requires identical bounds.
+    #[must_use]
+    pub fn subtract(&mut self, baseline: &Histogram) -> bool {
+        if self.bounds != baseline.bounds {
+            return false;
+        }
+        for (mine, base) in self.counts.iter_mut().zip(&baseline.counts) {
+            *mine = mine.saturating_sub(*base);
+        }
+        true
+    }
+
+    /// Encodes to a single line: `sfh1|b0,b1,…|c0,c1,…`. Bounds use Rust's
+    /// shortest round-trip float formatting, so [`Histogram::decode`] of the
+    /// result reproduces the histogram exactly.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|b| format!("{b:?}")).collect();
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!("{ENCODING_TAG}|{}|{}", bounds.join(","), counts.join(","))
+    }
+
+    /// Parses [`Histogram::encode`] output. Any malformed input — wrong tag,
+    /// non-finite or non-increasing bounds, count-list length mismatch,
+    /// unparseable numbers — yields `None`, never a panic.
+    #[must_use]
+    pub fn decode(text: &str) -> Option<Self> {
+        let mut parts = text.split('|');
+        if parts.next()? != ENCODING_TAG {
+            return None;
+        }
+        let bounds: Vec<f64> = parts
+            .next()?
+            .split(',')
+            .map(|t| t.trim().parse::<f64>().ok())
+            .collect::<Option<_>>()?;
+        let counts: Vec<u64> = parts
+            .next()?
+            .split(',')
+            .map(|t| t.trim().parse::<u64>().ok())
+            .collect::<Option<_>>()?;
+        if parts.next().is_some() || counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        let mut hist = Self::new(&bounds)?;
+        hist.counts = counts;
+        Some(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_classifies_into_bounds_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 4.0, 16.0]).unwrap();
+        for v in [0.5, 1.0, 3.0, 16.0, 17.0, f64::NAN] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_and_rejects_shape_mismatch() {
+        let mut a = Histogram::exponential(4);
+        let mut b = Histogram::exponential(4);
+        a.observe(3.0);
+        b.observe(3.0);
+        b.observe(100.0);
+        assert!(a.merge(&b));
+        assert_eq!(a.counts(), &[0, 0, 2, 0, 1]);
+        let other = Histogram::new(&[2.0, 3.0]).unwrap();
+        assert!(!a.merge(&other));
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut h = Histogram::new(&[0.5, 2.25, 1e9]).unwrap();
+        for v in [0.1, 1.0, 5.0, 2e9] {
+            h.observe(v);
+        }
+        assert_eq!(Histogram::decode(&h.encode()), Some(h));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for bad in [
+            "",
+            "sfh1",
+            "sfh1||",
+            "sfh2|1,2|0,0,0",
+            "sfh1|2,1|0,0,0",
+            "sfh1|1,1|0,0,0",
+            "sfh1|1,inf|0,0,0",
+            "sfh1|1,2|0,0",
+            "sfh1|1,2|0,0,0,0",
+            "sfh1|1,2|0,0,x",
+            "sfh1|1,2|0,0,0|extra",
+        ] {
+            assert_eq!(Histogram::decode(bad), None, "{bad:?}");
+        }
+    }
+}

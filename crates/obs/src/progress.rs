@@ -1,0 +1,234 @@
+//! The single stderr progress reporter for the whole pipeline.
+//!
+//! Two kinds of output flow through here:
+//!
+//! - **Notes** — the `# …` status lines the pipeline has always printed
+//!   (`# wrote results.csv (64 rows)`, `# resuming fig10 …`). Notes print
+//!   unless quiet.
+//! - **Heartbeat** — a rate-limited live line during a sweep with jobs
+//!   done/total, rows/s, ETA, and current RSS. The heartbeat only runs when
+//!   the reporter has been explicitly configured verbose (a CLI run without
+//!   `--quiet`), so library consumers and `cargo test` stay silent.
+//!
+//! Precedence of controls: explicit `--quiet` beats everything; otherwise the
+//! `SF_PROGRESS` environment variable (`0`/`false` → quiet, `1`/`true` →
+//! heartbeat on) beats the in-process default. Unconfigured processes print
+//! notes but no heartbeat.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::rss;
+
+/// Environment variable overriding progress verbosity (`0` quiet, `1` live).
+pub const PROGRESS_ENV: &str = "SF_PROGRESS";
+
+const MODE_NOTES: u8 = 0; // unconfigured: notes yes, heartbeat no
+const MODE_QUIET: u8 = 1;
+const MODE_LIVE: u8 = 2;
+
+const HEARTBEAT_EVERY: Duration = Duration::from_millis(250);
+
+#[derive(Debug, Default)]
+struct SweepState {
+    label: String,
+    total: usize,
+    done: usize,
+    rows: usize,
+    started: Option<Instant>,
+    last_beat: Option<Instant>,
+    line_open: bool,
+}
+
+/// Process-global progress reporter; obtain via [`Progress::global`].
+#[derive(Debug)]
+pub struct Progress {
+    mode: AtomicU8,
+    task: Mutex<String>,
+    state: Mutex<SweepState>,
+}
+
+static GLOBAL: OnceLock<Progress> = OnceLock::new();
+
+impl Progress {
+    /// The process-global reporter instance.
+    #[must_use]
+    pub fn global() -> &'static Progress {
+        GLOBAL.get_or_init(|| Progress {
+            mode: AtomicU8::new(MODE_NOTES),
+            task: Mutex::new(String::new()),
+            state: Mutex::new(SweepState::default()),
+        })
+    }
+
+    /// Names the current task (study name); subsequent sweeps report under
+    /// this label.
+    pub fn set_task(&self, name: &str) {
+        *self.task.lock().expect("progress task poisoned") = name.to_string();
+    }
+
+    /// Configures the reporter from CLI intent: `quiet` silences everything;
+    /// otherwise the heartbeat turns on. `SF_PROGRESS` overrides the
+    /// non-quiet default (set to `0` to suppress the heartbeat *and* notes,
+    /// `1` to force the heartbeat) but an explicit `--quiet` always wins.
+    pub fn configure(&self, quiet: bool) {
+        let mode = if quiet {
+            MODE_QUIET
+        } else {
+            match std::env::var(PROGRESS_ENV).ok().as_deref() {
+                Some("0") | Some("false") => MODE_QUIET,
+                Some("1") | Some("true") => MODE_LIVE,
+                _ => MODE_LIVE,
+            }
+        };
+        self.mode.store(mode, Ordering::Relaxed);
+    }
+
+    /// Restores the unconfigured default (test isolation).
+    pub fn reset(&self) {
+        self.mode.store(MODE_NOTES, Ordering::Relaxed);
+        self.task.lock().expect("progress task poisoned").clear();
+        *self.state.lock().expect("progress state poisoned") = SweepState::default();
+    }
+
+    fn mode(&self) -> u8 {
+        self.mode.load(Ordering::Relaxed)
+    }
+
+    /// True when all output (notes included) is suppressed.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.mode() == MODE_QUIET
+    }
+
+    /// Prints a status note (a `# …` line) unless quiet. Clears any open
+    /// heartbeat line first so notes never interleave mid-line.
+    pub fn note(&self, message: &str) {
+        if self.is_quiet() {
+            return;
+        }
+        let mut state = self.state.lock().expect("progress state poisoned");
+        Self::clear_line(&mut state);
+        eprintln!("{message}");
+    }
+
+    /// Begins a sweep of `total` jobs under the current task label. Resets
+    /// row/ETA tracking.
+    pub fn start_sweep(&self, total: usize) {
+        let label = self.task.lock().expect("progress task poisoned").clone();
+        let mut state = self.state.lock().expect("progress state poisoned");
+        Self::clear_line(&mut state);
+        *state = SweepState {
+            label: if label.is_empty() {
+                "sweep".to_string()
+            } else {
+                label
+            },
+            total,
+            started: Some(Instant::now()),
+            ..SweepState::default()
+        };
+    }
+
+    /// Records finished jobs and emitted rows, emitting a heartbeat when due.
+    pub fn tick(&self, jobs_done: usize, rows_done: usize) {
+        if self.mode() != MODE_LIVE {
+            return;
+        }
+        let mut state = self.state.lock().expect("progress state poisoned");
+        state.done += jobs_done;
+        state.rows += rows_done;
+        let now = Instant::now();
+        let due = state
+            .last_beat
+            .is_none_or(|last| now.duration_since(last) >= HEARTBEAT_EVERY);
+        if !due {
+            return;
+        }
+        state.last_beat = Some(now);
+        let elapsed = state
+            .started
+            .map_or(Duration::ZERO, |started| now.duration_since(started));
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let rate = state.rows as f64 / secs;
+        let eta = if state.done > 0 && state.total > state.done {
+            let per_job = secs / state.done as f64;
+            format_eta(per_job * (state.total - state.done) as f64)
+        } else {
+            "--".to_string()
+        };
+        let rss = rss::current_rss_kb().map_or_else(
+            || "?".to_string(),
+            |kb| format!("{:.1} MB", kb as f64 / 1024.0),
+        );
+        let line = format!(
+            "# {}: {}/{} jobs  {:.0} rows/s  ETA {}  rss {}",
+            state.label, state.done, state.total, rate, eta, rss
+        );
+        eprint!("\r\x1b[2K{line}");
+        let _ = io::stderr().flush();
+        state.line_open = true;
+    }
+
+    /// Ends the current sweep, clearing any open heartbeat line.
+    pub fn finish_sweep(&self) {
+        let mut state = self.state.lock().expect("progress state poisoned");
+        Self::clear_line(&mut state);
+        *state = SweepState::default();
+    }
+
+    fn clear_line(state: &mut SweepState) {
+        if state.line_open {
+            eprint!("\r\x1b[2K");
+            let _ = io::stderr().flush();
+            state.line_open = false;
+        }
+    }
+}
+
+fn format_eta(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "--".to_string();
+    }
+    let total = seconds.round() as u64;
+    if total >= 3600 {
+        format!("{}h{:02}m", total / 3600, (total % 3600) / 60)
+    } else if total >= 60 {
+        format!("{}m{:02}s", total / 60, total % 60)
+    } else {
+        format!("{total}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_formats_across_magnitudes() {
+        assert_eq!(format_eta(5.2), "5s");
+        assert_eq!(format_eta(65.0), "1m05s");
+        assert_eq!(format_eta(3661.0), "1h01m");
+        assert_eq!(format_eta(f64::INFINITY), "--");
+    }
+
+    // Mode state is process-global; exercise the transitions in one test.
+    #[test]
+    fn quiet_mode_suppresses_notes_and_ticks_are_inert_when_unconfigured() {
+        let progress = Progress::global();
+        progress.reset();
+        assert!(!progress.is_quiet());
+        // Unconfigured: ticks must not print (heartbeat requires MODE_LIVE),
+        // exercised here only for absence of panics/state corruption.
+        progress.set_task("unit");
+        progress.start_sweep(4);
+        progress.tick(1, 10);
+        progress.finish_sweep();
+        progress.configure(true);
+        assert!(progress.is_quiet());
+        progress.note("# this line must not appear");
+        progress.reset();
+    }
+}

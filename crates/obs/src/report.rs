@@ -1,0 +1,248 @@
+//! Schema-versioned perf-trajectory reports (`BENCH_<n>.json`).
+//!
+//! Each PR records one snapshot: a handful of named wall-clock probes plus
+//! the process peak RSS. ci.sh diffs the fresh snapshot against the newest
+//! prior `BENCH_*.json` and fails on regression, turning the bench benches
+//! from write-only output into an enforced trajectory.
+//!
+//! The JSON is written and parsed by this module alone (the environment is
+//! offline, no serde_json), so the parser only promises to read what
+//! [`BenchReport::to_json`] emits — it scans for the known keys line by line
+//! and returns `None` on anything structurally unexpected.
+
+use std::time::Duration;
+
+/// Schema identifier embedded in every report; bump on layout changes.
+pub const SCHEMA: &str = "sf-bench-report/v1";
+
+/// Wall-clock regression threshold: fail when `new > old * (1 + this)`.
+pub const WALL_TOLERANCE: f64 = 0.25;
+/// Peak-RSS regression threshold: fail when `new > old * (1 + this)`.
+pub const RSS_TOLERANCE: f64 = 0.10;
+/// Absolute wall-clock floor below which jitter is ignored (sub-millisecond
+/// micro-benches can double without meaning anything).
+const WALL_FLOOR_MS: f64 = 2.0;
+
+/// One named probe result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Probe name, e.g. `shard_sync/4` or `fig10_quick`.
+    pub name: String,
+    /// Median wall-clock milliseconds across samples.
+    pub wall_ms: f64,
+    /// Number of timed samples the median was taken over.
+    pub samples: u32,
+}
+
+/// A full perf snapshot for one PR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Snapshot label, conventionally `BENCH_<pr>`.
+    pub label: String,
+    /// Peak resident set size of the bench process in kB.
+    pub peak_rss_kb: u64,
+    /// Probe results in execution order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Median of raw samples as milliseconds (empty → 0).
+    #[must_use]
+    pub fn median_ms(samples: &[Duration]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        ms.sort_by(f64::total_cmp);
+        let mid = ms.len() / 2;
+        if ms.len() % 2 == 1 {
+            ms[mid]
+        } else {
+            (ms[mid - 1] + ms[mid]) / 2.0
+        }
+    }
+
+    /// Serialises the report; stable key order, one entry per line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"label\": \"{}\",\n", self.label));
+        out.push_str(&format!("  \"peak_rss_kb\": {},\n", self.peak_rss_kb));
+        out.push_str("  \"entries\": [\n");
+        for (i, entry) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"samples\": {}}}{comma}\n",
+                entry.name, entry.wall_ms, entry.samples
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses [`BenchReport::to_json`] output (including reports written by
+    /// earlier PRs with the same schema tag). Returns `None` on a schema
+    /// mismatch or malformed document.
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Self> {
+        if extract_str(text, "schema")? != SCHEMA {
+            return None;
+        }
+        let label = extract_str(text, "label")?.to_string();
+        let peak_rss_kb = extract_num(text, "peak_rss_kb")?.round() as u64;
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if !line.starts_with('{') || !line.contains("\"wall_ms\"") {
+                continue;
+            }
+            entries.push(BenchEntry {
+                name: extract_str(line, "name")?.to_string(),
+                wall_ms: extract_num(line, "wall_ms")?,
+                samples: extract_num(line, "samples")?.round() as u32,
+            });
+        }
+        Some(Self {
+            label,
+            peak_rss_kb,
+            entries,
+        })
+    }
+
+    /// Compares this (fresh) snapshot against `baseline`, returning one
+    /// human-readable line per regression: a probe slower by more than
+    /// [`WALL_TOLERANCE`] (and more than an absolute jitter floor), or peak
+    /// RSS above [`RSS_TOLERANCE`]. Probes present in only one snapshot are
+    /// skipped — the trajectory may legitimately grow.
+    #[must_use]
+    pub fn regressions_vs(&self, baseline: &BenchReport) -> Vec<String> {
+        let mut problems = Vec::new();
+        for entry in &self.entries {
+            let Some(base) = baseline.entries.iter().find(|b| b.name == entry.name) else {
+                continue;
+            };
+            let limit = base.wall_ms * (1.0 + WALL_TOLERANCE);
+            if entry.wall_ms > limit && entry.wall_ms - base.wall_ms > WALL_FLOOR_MS {
+                problems.push(format!(
+                    "{}: {:.3} ms vs baseline {:.3} ms (> +{:.0}%)",
+                    entry.name,
+                    entry.wall_ms,
+                    base.wall_ms,
+                    WALL_TOLERANCE * 100.0
+                ));
+            }
+        }
+        if baseline.peak_rss_kb > 0 {
+            let limit = baseline.peak_rss_kb as f64 * (1.0 + RSS_TOLERANCE);
+            if self.peak_rss_kb as f64 > limit {
+                problems.push(format!(
+                    "peak_rss_kb: {} vs baseline {} (> +{:.0}%)",
+                    self.peak_rss_kb,
+                    baseline.peak_rss_kb,
+                    RSS_TOLERANCE * 100.0
+                ));
+            }
+        }
+        problems
+    }
+}
+
+fn extract_str<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\":");
+    let after = &text[text.find(&pattern)? + pattern.len()..];
+    let open = after.find('"')?;
+    let rest = &after[open + 1..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn extract_num(text: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\":");
+    let after = text[text.find(&pattern)? + pattern.len()..].trim_start();
+    let end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(after.len());
+    after[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            label: "BENCH_6".to_string(),
+            peak_rss_kb: 50_000,
+            entries: vec![
+                BenchEntry {
+                    name: "shard_sync/1".to_string(),
+                    wall_ms: 12.5,
+                    samples: 3,
+                },
+                BenchEntry {
+                    name: "fig10_quick".to_string(),
+                    wall_ms: 850.0,
+                    samples: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        assert_eq!(BenchReport::parse(&report.to_json()), Some(report));
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas_and_garbage() {
+        assert_eq!(BenchReport::parse(""), None);
+        assert_eq!(BenchReport::parse("{\"schema\": \"other/v9\"}"), None);
+        let mangled = sample().to_json().replace(SCHEMA, "sf-bench-report/v0");
+        assert_eq!(BenchReport::parse(&mangled), None);
+    }
+
+    #[test]
+    fn regression_rules_fire_on_wall_and_rss_but_not_jitter() {
+        let base = sample();
+        let mut fresh = sample();
+        assert!(fresh.regressions_vs(&base).is_empty());
+        // 30% slower on a probe above the jitter floor → flagged.
+        fresh.entries[1].wall_ms = 850.0 * 1.30;
+        assert_eq!(fresh.regressions_vs(&base).len(), 1);
+        // Sub-floor absolute change never flags even at huge ratios.
+        let tiny_base = BenchReport {
+            entries: vec![BenchEntry {
+                name: "x".into(),
+                wall_ms: 0.4,
+                samples: 3,
+            }],
+            ..sample()
+        };
+        let mut tiny_fresh = tiny_base.clone();
+        tiny_fresh.entries[0].wall_ms = 1.2;
+        assert!(tiny_fresh.regressions_vs(&tiny_base).is_empty());
+        // RSS over 10% → flagged.
+        let mut fat = sample();
+        fat.peak_rss_kb = 60_000;
+        assert_eq!(fat.regressions_vs(&base).len(), 1);
+        // New probes in the fresh snapshot are not regressions.
+        let mut grown = sample();
+        grown.entries.push(BenchEntry {
+            name: "new_probe".into(),
+            wall_ms: 5.0,
+            samples: 3,
+        });
+        assert!(grown.regressions_vs(&base).is_empty());
+    }
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(BenchReport::median_ms(&[]), 0.0);
+        let odd = [10, 30, 20].map(Duration::from_millis);
+        assert!((BenchReport::median_ms(&odd) - 20.0).abs() < 1e-9);
+        let even = [10, 20, 30, 40].map(Duration::from_millis);
+        assert!((BenchReport::median_ms(&even) - 25.0).abs() < 1e-9);
+    }
+}

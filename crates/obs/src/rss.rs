@@ -1,0 +1,53 @@
+//! In-process memory probe backed by `/proc/self/status`.
+//!
+//! This replaces the external `/usr/bin/time -v` / polling-loop probes in
+//! ci.sh: because the read happens *inside* the measured process, it cannot
+//! race process exit and report `0 kB` for fast runs. `VmHWM` is the kernel's
+//! own high-water mark, so a single read at the end of a run captures the
+//! true peak. On platforms without procfs both probes return `None` and
+//! callers degrade gracefully.
+
+use std::fs;
+
+fn status_field_kb(field: &str) -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let rest = rest.trim_start_matches(':').trim();
+            let number = rest.split_whitespace().next()?;
+            return number.parse().ok();
+        }
+    }
+    None
+}
+
+/// Peak resident set size of this process in kB (`VmHWM`), or `None` when
+/// procfs is unavailable.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    status_field_kb("VmHWM")
+}
+
+/// Current resident set size of this process in kB (`VmRSS`).
+#[must_use]
+pub fn current_rss_kb() -> Option<u64> {
+    status_field_kb("VmRSS")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_report_plausible_values_on_linux() {
+        if !std::path::Path::new("/proc/self/status").exists() {
+            return;
+        }
+        let peak = peak_rss_kb().expect("VmHWM present on Linux");
+        let current = current_rss_kb().expect("VmRSS present on Linux");
+        // A running Rust test binary occupies at least a few hundred kB and
+        // the peak can never be below the current level.
+        assert!(current > 100, "current {current} kB");
+        assert!(peak >= current, "peak {peak} < current {current}");
+    }
+}

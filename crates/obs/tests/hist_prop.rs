@@ -1,0 +1,98 @@
+//! Property tests for the histogram encoding: generated shapes must
+//! round-trip exactly, adversarial framing garbage must never panic or
+//! produce a malformed accept, and bucketwise merge must be commutative
+//! (the property the cross-worker determinism guarantee rests on).
+
+use proptest::collection;
+use proptest::prelude::*;
+use sf_obs::hist::Histogram;
+
+/// Characters chosen to stress the `sfh1|…|…` framing: digits, the two
+/// separators, signs, exponent markers, float specials, and the tag's own
+/// letters.
+const PALETTE: &[char] = &[
+    '0', '1', '9', '.', ',', '|', '-', '+', 'e', 'E', 's', 'f', 'h', 'n', 'a', 'i', 'x', ' ',
+];
+
+/// Deterministically unfolds one `u64` into an adversarial string of up to
+/// 24 palette characters.
+fn adversarial_string(mut bits: u64) -> String {
+    let len = (bits % 25) as usize;
+    bits /= 25;
+    let mut out = String::new();
+    for _ in 0..len {
+        out.push(PALETTE[(bits % PALETTE.len() as u64) as usize]);
+        bits = bits / PALETTE.len() as u64 + 0x9e37;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any histogram built from strictly positive bound increments and
+    /// arbitrary observations (including a NaN, which must land in
+    /// overflow) round-trips exactly through encode/decode.
+    #[test]
+    fn encode_decode_round_trips(
+        increments in collection::vec(0.001f64..500.0, 1..10),
+        observations in collection::vec(0.0f64..4000.0, 0..40),
+        nan_tail in any::<bool>(),
+    ) {
+        let mut bounds = Vec::new();
+        let mut acc = 0.0f64;
+        for inc in increments {
+            acc += inc;
+            bounds.push(acc);
+        }
+        let mut h = Histogram::new(&bounds).expect("cumulative bounds increase strictly");
+        let expected_total = observations.len() as u64 + u64::from(nan_tail);
+        for v in observations {
+            h.observe(v);
+        }
+        if nan_tail {
+            h.observe(f64::NAN);
+        }
+        prop_assert_eq!(h.total(), expected_total);
+        prop_assert_eq!(Histogram::decode(&h.encode()), Some(h));
+    }
+
+    /// Adversarial framing garbage either decodes to a well-formed
+    /// histogram whose canonical re-encoding parses back identically, or is
+    /// rejected — never a panic, never a malformed accept.
+    #[test]
+    fn decode_survives_adversarial_input(bits in any::<u64>(), with_tag in any::<bool>()) {
+        let mut text = adversarial_string(bits);
+        if with_tag {
+            text = format!("sfh1|{text}");
+        }
+        if let Some(h) = Histogram::decode(&text) {
+            prop_assert_eq!(h.counts().len(), h.bounds().len() + 1);
+            prop_assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(h.bounds().iter().all(|b| b.is_finite()));
+            prop_assert_eq!(Histogram::decode(&h.encode()), Some(h));
+        }
+    }
+
+    /// Bucketwise merge is commutative: folding A into B and B into A give
+    /// bit-identical histograms whatever the observations were.
+    #[test]
+    fn merge_order_cannot_change_totals(
+        xs in collection::vec(0.0f64..5000.0, 0..30),
+        ys in collection::vec(0.0f64..5000.0, 0..30),
+    ) {
+        let mut a = Histogram::exponential(10);
+        let mut b = Histogram::exponential(10);
+        for v in &xs {
+            a.observe(*v);
+        }
+        for v in &ys {
+            b.observe(*v);
+        }
+        let mut ab = a.clone();
+        prop_assert!(ab.merge(&b));
+        let mut ba = b.clone();
+        prop_assert!(ba.merge(&a));
+        prop_assert_eq!(ab, ba);
+    }
+}

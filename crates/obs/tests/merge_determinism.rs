@@ -1,0 +1,66 @@
+//! End-to-end metrics determinism: running the same quick study under
+//! every worker × shard combination must leave a bit-identical
+//! deterministic-namespace snapshot in the global registry.
+//!
+//! This is the observable form of the merge contract: counters sum,
+//! gauges take maxima, histograms add bucketwise — all commutative and
+//! associative — so neither the sweep-pool worker count nor the
+//! intra-simulation shard count can leak into `sim.*` / `pool.*` totals.
+//! (`sched.*` and `time.*` are excluded by [`MetricsSnapshot::deterministic`]
+//! — cache hit/miss counts genuinely depend on worker interleaving.)
+//!
+//! `stringfigure` is a dev-dependency of `sf-obs` here (the reverse of the
+//! build dependency), which is legal for dev-deps and lets the leaf crate
+//! test the whole stack it instruments.
+//!
+//! [`MetricsSnapshot::deterministic`]: sf_obs::metrics::MetricsSnapshot::deterministic
+
+use sf_obs::metrics::{self, MetricsSnapshot};
+use stringfigure::study::{execute, RunContext, StudyRegistry};
+
+// One #[test] on purpose: the registry, progress reporter, and the two
+// environment knobs are process-global state.
+#[test]
+fn deterministic_metrics_are_bit_identical_across_worker_shard_matrix() {
+    let registry = StudyRegistry::all();
+    let study = registry
+        .get("fault_resilience")
+        .expect("fault_resilience registered");
+    // Silence study notes so the matrix runs do not spam test output.
+    let progress = sf_obs::progress::Progress::global();
+    progress.configure(true);
+
+    let mut reference: Option<(String, MetricsSnapshot)> = None;
+    for workers in ["1", "4"] {
+        for shards in ["1", "2", "4"] {
+            std::env::set_var("SF_HARNESS_THREADS", workers);
+            std::env::set_var("SF_SIM_SHARDS", shards);
+            metrics::global().reset();
+            execute(study, &RunContext::new().quick(true)).expect("quick fault_resilience run");
+            let snapshot = metrics::global().snapshot().deterministic();
+
+            assert!(
+                snapshot.get("sim.delivered").is_some(),
+                "simulation metrics missing from snapshot"
+            );
+            assert!(snapshot.get("pool.jobs_completed").is_some());
+            assert!(snapshot
+                .iter()
+                .all(|(name, _)| metrics::is_deterministic_name(name)));
+
+            let label = format!("workers={workers} shards={shards}");
+            match &reference {
+                None => reference = Some((label, snapshot)),
+                Some((ref_label, expected)) => assert_eq!(
+                    &snapshot, expected,
+                    "deterministic metrics diverged between {ref_label} and {label}"
+                ),
+            }
+        }
+    }
+
+    std::env::remove_var("SF_HARNESS_THREADS");
+    std::env::remove_var("SF_SIM_SHARDS");
+    metrics::global().reset();
+    progress.reset();
+}

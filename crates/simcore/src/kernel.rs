@@ -68,6 +68,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
+use std::time::Duration;
 
 /// A packet currently traversing a link.
 #[derive(Debug, Clone)]
@@ -294,6 +295,16 @@ impl Shared {
     }
 }
 
+/// Wall-clock time spent in each per-cycle phase, accumulated locally while
+/// the run is in progress and flushed to the global tracer once at the end —
+/// so the per-cycle cost of instrumentation is two `Instant::now` calls when
+/// timing is enabled and two relaxed loads when it is not.
+#[derive(Debug, Default)]
+struct PhaseTimers {
+    route: Duration,
+    commit: Duration,
+}
+
 /// State only the coordinating thread touches.
 #[derive(Debug)]
 struct SerialState {
@@ -304,6 +315,7 @@ struct SerialState {
     pending_replies: BinaryHeap<PendingReply>,
     /// Outstanding fault repairs, in strike order (deterministic).
     fault_repairs: Vec<FaultRepair>,
+    timers: PhaseTimers,
 }
 
 /// View over the credit counters handed to adaptive routing protocols.
@@ -501,6 +513,7 @@ impl ShardedSimulator {
                 in_flight: Vec::new(),
                 pending_replies: BinaryHeap::new(),
                 fault_repairs: Vec::new(),
+                timers: PhaseTimers::default(),
             },
         })
     }
@@ -680,6 +693,12 @@ fn run_loop(
     }
     merge_local_stats(shared, serial);
     serial.stats.cycles = serial.cycle;
+    if sf_obs::span::timing_enabled() {
+        let tracer = sf_obs::span::Tracer::global();
+        let timers = std::mem::take(&mut serial.timers);
+        tracer.add_duration("kernel_cycle_phases", timers.route, serial.cycle);
+        tracer.add_duration("commit_replay", timers.commit, serial.cycle);
+    }
     Ok(serial.stats.clone())
 }
 
@@ -741,6 +760,7 @@ fn step(
     }
 
     // Routing phase: every shard processes its routers, wavefront-ordered.
+    let route_timer = sf_obs::span::timing_start();
     let own_failure = match sync {
         None => shard_routing_phase(shared, 0, cycle, epoch).err(),
         Some(sync) => {
@@ -764,14 +784,21 @@ fn step(
             failure
         }
     };
+    if let Some(started) = route_timer {
+        serial.timers.route += started.elapsed();
+    }
     if let Some((_, error)) = own_failure {
         return Err(error);
     }
 
     // Serial commit: replay every router's deferred events in id order.
     {
+        let commit_timer = sf_obs::span::timing_start();
         let mut guards = shared.lock_all();
         commit_phase(shared, serial, &mut guards);
+        if let Some(started) = commit_timer {
+            serial.timers.commit += started.elapsed();
+        }
     }
     serial.cycle += 1;
     Ok(())
