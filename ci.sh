@@ -35,18 +35,55 @@ if [[ "${1:-}" != "--quick" ]]; then
     serial_csv="$(mktemp)"
     sharded_csv="$(mktemp)"
     SF_HARNESS_THREADS=1 SF_SIM_SHARDS=1 \
-        "$sfbench" run fig10 --quick --no-resume --csv "$serial_csv" >/dev/null
-    # The sharded run also exercises the observability sinks: tracing and
-    # metrics must stay strictly out-of-band (identical CSV bytes).
+        "$sfbench" run fig10 --quick --no-resume --csv "$serial_csv" \
+        --telemetry "$serial_csv.telemetry.bin" --telemetry-every 32 \
+        --metrics "$serial_csv.metrics.json" >/dev/null
+    # The sharded run also exercises the observability sinks: tracing,
+    # metrics, and the telemetry stream must stay strictly out-of-band
+    # (identical CSV bytes), and the stream itself must be bit-identical
+    # to the serial run's.
     SF_HARNESS_THREADS=2 SF_SIM_SHARDS=2 \
         "$sfbench" run fig10 --quick --no-resume --csv "$sharded_csv" \
+        --telemetry "$sharded_csv.telemetry.bin" --telemetry-every 32 \
         --trace "$sharded_csv.trace.jsonl" --metrics "$sharded_csv.metrics.json" >/dev/null
     cmp "$serial_csv" "$sharded_csv"
+    cmp "$serial_csv.telemetry.bin" "$sharded_csv.telemetry.bin"
+    head -c 15 "$sharded_csv.telemetry.bin" | grep -q 'sf-telemetry/v1'
     test -s "$sharded_csv.trace.jsonl"
     grep -q '"schema": "sf-metrics/v1"' "$sharded_csv.metrics.json"
     grep -q '"sim.delivered"' "$sharded_csv.metrics.json"
-    rm -f "$serial_csv" "$sharded_csv" "$sharded_csv.trace.jsonl" "$sharded_csv.metrics.json"
-    echo "==> smoke artifacts byte-identical (with tracing + metrics on the sharded run)"
+    grep -q '"sim.telemetry_samples"' "$sharded_csv.metrics.json"
+    # A telemetry-off run must reproduce the same golden CSV: recording is
+    # observability, never simulation input.
+    off_csv="$(mktemp)"
+    SF_HARNESS_THREADS=2 SF_SIM_SHARDS=2 \
+        "$sfbench" run fig10 --quick --no-resume --csv "$off_csv" >/dev/null
+    cmp "$serial_csv" "$off_csv"
+    rm -f "$off_csv"
+    echo "==> smoke artifacts byte-identical (telemetry on/off, serial vs sharded)"
+
+    # Analyzer smoke: sfbench report over the artifacts the smoke just
+    # produced must exit 0 and emit a markdown document with every section.
+    echo "==> sfbench report smoke (span tree + heatmap + diff + trajectory)"
+    report_md="$(mktemp)"
+    "$sfbench" report \
+        --trace "$sharded_csv.trace.jsonl" \
+        --telemetry "$sharded_csv.telemetry.bin" \
+        --heatmap-csv "$report_md.heatmap.csv" \
+        --diff "$serial_csv.metrics.json" "$sharded_csv.metrics.json" \
+        --bench-dir . \
+        --out "$report_md" --quiet
+    test -s "$report_md"
+    grep -q '^## Span tree' "$report_md"
+    grep -q '^## Congestion heatmap' "$report_md"
+    grep -q '^## Metric diff' "$report_md"
+    grep -q '^## Perf trajectory' "$report_md"
+    grep -q '^router,mean_queue,max_queue,stalls$' "$report_md.heatmap.csv"
+    rm -f "$report_md" "$report_md.heatmap.csv"
+    rm -f "$serial_csv" "$sharded_csv" "$sharded_csv.trace.jsonl" \
+        "$serial_csv.metrics.json" "$sharded_csv.metrics.json" \
+        "$serial_csv.telemetry.bin" "$sharded_csv.telemetry.bin"
+    echo "==> report sections present and heatmap CSV exported"
 
     # Checkpoint/resume smoke: start a run, kill -9 it after the journal has
     # flushed at least one completed job, rerun the same command (which
@@ -130,12 +167,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     # Perf trajectory: record this PR's in-process bench snapshot and gate
     # against the newest prior BENCH_*.json (wall-clock > +25% on a probe,
     # or peak RSS > +10%, fails the build). The first run only records.
-    echo "==> sfbench bench (perf snapshot BENCH_6.json)"
-    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_6\.json$' | sort -V | tail -1 || true)"
+    echo "==> sfbench bench (perf snapshot BENCH_7.json)"
+    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_7\.json$' | sort -V | tail -1 || true)"
     if [[ -n "${prev_bench:-}" ]]; then
-        "$sfbench" bench --label BENCH_6 --out BENCH_6.json --baseline "$prev_bench"
+        "$sfbench" bench --label BENCH_7 --out BENCH_7.json --baseline "$prev_bench"
     else
-        "$sfbench" bench --label BENCH_6 --out BENCH_6.json
+        "$sfbench" bench --label BENCH_7 --out BENCH_7.json
         echo "    no prior BENCH_*.json snapshot; recorded baseline only"
     fi
 fi

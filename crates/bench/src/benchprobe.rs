@@ -122,6 +122,17 @@ pub fn run(args: &CliArgs) -> i32 {
             &runs,
         );
     }
+    // Topology generation at the paper's evaluated scale (1296 nodes, 8
+    // ports — Section VI of HPCA'19): pure construction, no simulation, so
+    // this isolates the random-graph builder and its connectivity repair.
+    let runs = timed(samples, || {
+        let topo = StringFigureTopology::generate(
+            &NetworkConfig::new(1296, 8).expect("paper-scale network config"),
+        )
+        .expect("paper-scale topology");
+        std::hint::black_box(topo);
+    });
+    push_entry(&mut entries, progress, "topology_build/1296", &runs);
     // The fig10 probe exercises the full study path (sweep pool, sink,
     // journal); its own notes and heartbeat are silenced so the probe
     // measures the pipeline, not terminal I/O.

@@ -8,7 +8,8 @@
 //! sfbench grid fig10 --quick            # sweep axes and job count
 //! sfbench run fig10 --quick --csv f.csv # run a study, emit artifacts
 //! sfbench run fault_resilience --quick  # an extended scenario study
-//! sfbench bench --out BENCH_6.json      # perf snapshot + regression gate
+//! sfbench bench --out BENCH_7.json      # perf snapshot + regression gate
+//! sfbench report --trace t.jsonl        # offline artifact analyzer
 //! ```
 //!
 //! The historical per-figure binaries (`fig10_saturation`, …) are shims
@@ -41,6 +42,8 @@ pub const RUN_VALUE_FLAGS: &[&str] = &[
     "--max-journal-bytes",
     "--trace",
     "--metrics",
+    "--telemetry",
+    "--telemetry-every",
 ];
 
 /// Parsed command-line arguments: the one flag-parsing code path shared by
@@ -115,6 +118,44 @@ impl CliArgs {
         }
     }
 
+    /// The two values of a paired flag: `--diff a.json b.json` (or
+    /// `--diff=a.json b.json`) yields `("a.json", "b.json")`. The first
+    /// value follows [`value`](Self::value) semantics; the second is the
+    /// next non-flag token after it. As with `value`, the last complete
+    /// pair wins and an incomplete occurrence is reported on stderr and
+    /// ignored.
+    #[must_use]
+    pub fn pair(&self, name: &str) -> Option<(String, String)> {
+        let prefix = format!("{name}=");
+        let mut found: Option<(String, String)> = None;
+        let mut args = self.raw.iter().peekable();
+        while let Some(arg) = args.next() {
+            let first = if let Some(value) = arg.strip_prefix(&prefix) {
+                Some(value.to_string())
+            } else if arg == name {
+                match args.peek() {
+                    Some(value) if !value.starts_with("--") => {
+                        let value = (*value).clone();
+                        args.next();
+                        Some(value)
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let Some(first) = first else { continue };
+            match args.peek() {
+                Some(second) if !second.starts_with("--") => {
+                    found = Some((first, (*second).clone()));
+                    args.next();
+                }
+                _ => eprintln!("# warning: {name} takes two values; flag occurrence ignored"),
+            }
+        }
+        found
+    }
+
     /// Every `--flag` token that is unknown (in neither `bool_flags` nor
     /// `value_flags`) **or malformed** — a boolean flag given a value in `=`
     /// form (`--quick=1`), which [`flag`](Self::flag) would otherwise
@@ -168,6 +209,19 @@ fn context_from_args(args: &CliArgs) -> RunContext {
         ctx = ctx.with_checkpoint(path);
     } else if let (Some(csv), false) = (&csv, args.flag("--no-resume")) {
         ctx = ctx.with_checkpoint(format!("{csv}.journal"));
+    }
+    let telemetry = args.value("--telemetry");
+    if let Some(path) = &telemetry {
+        ctx = ctx.with_telemetry(path);
+    }
+    if let Some(every) = args.usize_value("--telemetry-every") {
+        if telemetry.is_none() {
+            // Same inert-flag policy as --max-journal-bytes below: a cadence
+            // without a stream path would silently do nothing.
+            eprintln!("# warning: --telemetry-every has no effect without --telemetry PATH");
+        } else {
+            ctx = ctx.with_telemetry_every(every as u64);
+        }
     }
     if let Some(bytes) = args.usize_value("--max-journal-bytes") {
         if ctx.checkpoint_path().is_none() {
@@ -312,6 +366,7 @@ fn print_usage() {
          \x20 grid <study> [--quick]   sweep axes and job count of a study\n\
          \x20 run <study> [options]    run a study\n\
          \x20 bench [options]          in-process perf probes; emits a BENCH_<n>.json snapshot\n\
+         \x20 report [options]         analyze run artifacts into a markdown report\n\
          \n\
          run options:\n\
          \x20 --quick                  reduced smoke scale\n\
@@ -324,6 +379,16 @@ fn print_usage() {
          \x20 --quiet                  suppress progress output and result tables\n\
          \x20 --trace PATH             write a JSONL span trace (phase timing)\n\
          \x20 --metrics PATH           write the metrics + span-summary JSON document\n\
+         \x20 --telemetry PATH         record the sf-telemetry/v1 time-series stream\n\
+         \x20 --telemetry-every N      telemetry sample cadence in cycles (default 64)\n\
+         \n\
+         report options:\n\
+         \x20 --telemetry PATH         congestion heatmap from a telemetry stream\n\
+         \x20 --trace PATH             span tree from a JSONL trace\n\
+         \x20 --diff A B               metric diff between two --metrics documents\n\
+         \x20 --bench-dir DIR          perf trajectory over BENCH_<n>.json snapshots\n\
+         \x20 --heatmap-csv PATH       also export per-router congestion as CSV\n\
+         \x20 --out PATH               write the markdown report (default: stdout)\n\
          \n\
          bench options:\n\
          \x20 --out PATH               write the snapshot JSON (default: stdout)\n\
@@ -384,6 +449,7 @@ pub fn main(args: Vec<String>) -> i32 {
             run_study(study, &CliArgs::new(args.collect()))
         }
         Some("bench") => crate::benchprobe::run(&CliArgs::new(args.collect())),
+        Some("report") => crate::report::run(&CliArgs::new(args.collect())),
         None | Some("help" | "--help" | "-h") => {
             print_usage();
             0
@@ -485,6 +551,52 @@ mod tests {
         assert_eq!(
             explicit.checkpoint_path().unwrap().to_str().unwrap(),
             "j.journal"
+        );
+    }
+
+    #[test]
+    fn telemetry_flags_reach_the_context() {
+        let ctx = context_from_args(&args(&["--telemetry", "t.bin", "--telemetry-every", "32"]));
+        assert_eq!(ctx.telemetry().unwrap().to_str().unwrap(), "t.bin");
+        assert_eq!(ctx.telemetry_every(), 32);
+        // The cadence flag alone is inert (warned, not wired); without a
+        // stream path telemetry_every() reports the off state.
+        let inert = context_from_args(&args(&["--telemetry-every", "32"]));
+        assert!(inert.telemetry().is_none());
+        assert_eq!(inert.telemetry_every(), 0);
+        // Default cadence when only the path is given.
+        let default = context_from_args(&args(&["--telemetry=t.bin"]));
+        assert_eq!(default.telemetry_every(), sf_obs::telemetry::DEFAULT_EVERY);
+        let unknown = args(&["--telemetry", "t.bin", "--telemetry-every=32"])
+            .unknown_flags(RUN_BOOL_FLAGS, RUN_VALUE_FLAGS);
+        assert!(unknown.is_empty(), "{unknown:?}");
+    }
+
+    #[test]
+    fn paired_flags_parse_both_forms_and_ignore_torn_pairs() {
+        let space = args(&["--diff", "a.json", "b.json"]);
+        assert_eq!(
+            space.pair("--diff"),
+            Some(("a.json".to_string(), "b.json".to_string()))
+        );
+        let eq = args(&["--diff=a.json", "b.json"]);
+        assert_eq!(
+            eq.pair("--diff"),
+            Some(("a.json".to_string(), "b.json".to_string()))
+        );
+        // Last complete pair wins.
+        let twice = args(&["--diff", "a", "b", "--diff", "c", "d"]);
+        assert_eq!(
+            twice.pair("--diff"),
+            Some(("c".to_string(), "d".to_string()))
+        );
+        // A torn pair (second value missing or a flag) is ignored.
+        assert_eq!(args(&["--diff", "a.json"]).pair("--diff"), None);
+        assert_eq!(args(&["--diff", "a.json", "--quiet"]).pair("--diff"), None);
+        let earlier = args(&["--diff", "a", "b", "--diff", "c"]);
+        assert_eq!(
+            earlier.pair("--diff"),
+            Some(("a".to_string(), "b".to_string()))
         );
     }
 

@@ -5,6 +5,7 @@
 
 use proptest::prelude::*;
 use sf_bench::cli::{CliArgs, RUN_BOOL_FLAGS, RUN_VALUE_FLAGS};
+use sf_bench::report::{REPORT_BOOL_FLAGS, REPORT_VALUE_FLAGS};
 use stringfigure::study::StudyRegistry;
 
 fn args(list: &[String]) -> CliArgs {
@@ -110,6 +111,38 @@ proptest! {
         prop_assert_eq!(junk.usize_value("--shards"), None);
     }
 
+    /// The `report` subcommand's two-value `--diff` parses identically in
+    /// both forms, and a torn pair never survives.
+    #[test]
+    fn prop_diff_pair_round_trips(
+        a_num in any::<u32>(),
+        b_num in any::<u32>(),
+        eq_form in any::<bool>(),
+        trailing_flag in any::<bool>(),
+    ) {
+        let a = format!("a{a_num}.json");
+        let b = format!("b{b_num}.json");
+        let mut list = Vec::new();
+        if eq_form {
+            list.push(format!("--diff={a}"));
+        } else {
+            list.push("--diff".to_string());
+            list.push(a.clone());
+        }
+        list.push(b.clone());
+        let parsed = args(&list);
+        prop_assert_eq!(parsed.pair("--diff"), Some((a.clone(), b)));
+        prop_assert!(
+            parsed.unknown_flags(REPORT_BOOL_FLAGS, REPORT_VALUE_FLAGS).is_empty()
+        );
+        // Torn: the second value missing (end of args or a following flag).
+        let mut torn = vec!["--diff".to_string(), a];
+        if trailing_flag {
+            torn.push("--quiet".to_string());
+        }
+        prop_assert_eq!(args(&torn).pair("--diff"), None);
+    }
+
     /// Any flag outside the advertised set is reported as unknown, whatever
     /// known flags surround it.
     #[test]
@@ -145,6 +178,7 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
         let checkpoint = format!("{}.journal", study.name());
         let trace = format!("{}.trace.jsonl", study.name());
         let metrics = format!("{}.metrics.json", study.name());
+        let telemetry = format!("{}.telemetry.bin", study.name());
         let shards = (i % 4) + 1;
         let invocation = args(&[
             "--quick".to_string(),
@@ -161,6 +195,9 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
             "--trace".to_string(),
             trace.clone(),
             format!("--metrics={metrics}"),
+            "--telemetry".to_string(),
+            telemetry.clone(),
+            format!("--telemetry-every={}", 16 * (i + 1)),
         ]);
         for flag in RUN_BOOL_FLAGS {
             assert!(invocation.flag(flag), "{}: {flag}", study.name());
@@ -177,6 +214,14 @@ fn every_advertised_flag_round_trips_for_every_registered_study() {
         assert_eq!(
             invocation.value("--metrics").as_deref(),
             Some(metrics.as_str())
+        );
+        assert_eq!(
+            invocation.value("--telemetry").as_deref(),
+            Some(telemetry.as_str())
+        );
+        assert_eq!(
+            invocation.usize_value("--telemetry-every"),
+            Some(16 * (i + 1))
         );
         assert!(
             invocation

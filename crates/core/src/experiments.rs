@@ -103,6 +103,9 @@ pub struct ExperimentScale {
     /// (`0` = auto from the shared core budget). Any value produces
     /// bit-identical rows; the knob only trades wall-clock time.
     pub shards: usize,
+    /// Telemetry sampling stride in cycles (`0` = off). Strictly
+    /// out-of-band: like `shards`, it never changes a row.
+    pub telemetry_every: u64,
 }
 
 impl ExperimentScale {
@@ -113,6 +116,7 @@ impl ExperimentScale {
             max_cycles: 1_200,
             warmup_cycles: 200,
             shards: 0,
+            telemetry_every: 0,
         }
     }
 
@@ -123,6 +127,7 @@ impl ExperimentScale {
             max_cycles: 20_000,
             warmup_cycles: 2_000,
             shards: 0,
+            telemetry_every: 0,
         }
     }
 
@@ -134,6 +139,14 @@ impl ExperimentScale {
         self
     }
 
+    /// Returns a copy with a telemetry sampling stride in cycles
+    /// (`0` disables recording).
+    #[must_use]
+    pub fn with_telemetry_every(mut self, every: u64) -> Self {
+        self.telemetry_every = every;
+        self
+    }
+
     /// The corresponding simulator configuration.
     #[must_use]
     pub fn simulation_config(&self) -> SimulationConfig {
@@ -141,6 +154,7 @@ impl ExperimentScale {
             max_cycles: self.max_cycles,
             warmup_cycles: self.warmup_cycles,
             shards: self.shards,
+            telemetry_every: self.telemetry_every,
             ..SimulationConfig::default()
         }
     }

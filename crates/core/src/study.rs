@@ -331,6 +331,8 @@ pub struct RunContext {
     emitters: Vec<Emitter>,
     checkpoint_path: Option<PathBuf>,
     max_journal_bytes: Option<u64>,
+    telemetry: Option<PathBuf>,
+    telemetry_every: Option<u64>,
     journal: OnceLock<Journal>,
     sweep_seq: AtomicU64,
 }
@@ -355,6 +357,8 @@ impl RunContext {
             emitters: Vec::new(),
             checkpoint_path: None,
             max_journal_bytes: None,
+            telemetry: None,
+            telemetry_every: None,
             journal: OnceLock::new(),
             sweep_seq: AtomicU64::new(0),
         }
@@ -433,6 +437,47 @@ impl RunContext {
         self
     }
 
+    /// Records an `sf-telemetry/v1` stream of every simulation this context
+    /// runs at `path` (written via the atomic `.part`-rename pattern).
+    /// Telemetry is strictly out-of-band — result artifacts are
+    /// byte-identical with it on or off — and the stream itself is, like
+    /// every other artifact, bit-identical for any worker or shard count.
+    /// Like those parallelism knobs it is excluded from the resume
+    /// fingerprint; note a resumed run skips restored jobs' simulations, so
+    /// stream comparisons should use fresh (`--no-resume`) runs.
+    #[must_use]
+    pub fn with_telemetry(mut self, path: impl Into<PathBuf>) -> Self {
+        self.telemetry = Some(path.into());
+        self
+    }
+
+    /// Sets the telemetry sampling stride in cycles (default
+    /// [`sf_obs::telemetry::DEFAULT_EVERY`]; clamped to at least 1).
+    #[must_use]
+    pub fn with_telemetry_every(mut self, every: u64) -> Self {
+        self.telemetry_every = Some(every.max(1));
+        self
+    }
+
+    /// The telemetry stream path configured with
+    /// [`with_telemetry`](Self::with_telemetry), if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Path> {
+        self.telemetry.as_deref()
+    }
+
+    /// The effective telemetry sampling stride of this context's
+    /// simulations: 0 (off) without a stream path, else the configured or
+    /// default stride.
+    #[must_use]
+    pub fn telemetry_every(&self) -> u64 {
+        if self.telemetry.is_none() {
+            return 0;
+        }
+        self.telemetry_every
+            .unwrap_or(sf_obs::telemetry::DEFAULT_EVERY)
+    }
+
     /// Whether this context runs studies at quick (smoke) scale.
     #[must_use]
     pub fn is_quick(&self) -> bool {
@@ -468,11 +513,12 @@ impl RunContext {
         } else {
             full
         });
-        if self.shards > 0 {
+        let base = if self.shards > 0 {
             base.with_shards(self.shards)
         } else {
             base
-        }
+        };
+        base.with_telemetry_every(self.telemetry_every())
     }
 
     /// Builds or reuses the network design `kind` at scale `nodes` with
@@ -588,6 +634,10 @@ impl RunContext {
         LazySweep::new(points).run_streaming(
             &self.pool,
             |jctx, point| {
+                // Telemetry blocks this job's simulations submit are keyed
+                // by (sweep, job index) so the collector can write them in
+                // enumeration order, whatever worker ran the job.
+                let _telemetry_scope = sf_obs::telemetry::job_scope(seq, jctx.index as u64);
                 if let Some(journal) = journal {
                     if let Some(cells) = journal.restored(seq, jctx.index as u64) {
                         if let Some(row) = R::from_cells(cells) {
@@ -614,6 +664,11 @@ impl RunContext {
                     Ok(row) => match on_row(outcome.index, row) {
                         Ok(()) => {
                             delivered += 1;
+                            // This callback runs in enumeration order, so
+                            // flushing parked telemetry here pins the
+                            // stream's block order to the job order.
+                            sf_obs::telemetry::Collector::global()
+                                .deliver_through(seq, outcome.index as u64);
                             progress.tick(1, 1);
                             true
                         }
@@ -889,6 +944,41 @@ pub fn study_fingerprint(study: &dyn Study, ctx: &RunContext) -> u64 {
 pub fn execute(study: &dyn Study, ctx: &RunContext) -> SfResult<Table> {
     let progress = sf_obs::progress::Progress::global();
     progress.set_task(study.name());
+    // Telemetry brackets the whole run: the stream opens (as a .part)
+    // before any simulation and publishes atomically only on success, so a
+    // failed run leaves no partial stream behind.
+    if let Some(path) = ctx.telemetry() {
+        sf_obs::telemetry::Collector::global()
+            .configure(path)
+            .map_err(|e| SfError::Simulation {
+                reason: format!("cannot open telemetry stream {}: {e}", path.display()),
+            })?;
+    }
+    let result = execute_inner(study, ctx);
+    if ctx.telemetry().is_some() {
+        let collector = sf_obs::telemetry::Collector::global();
+        if result.is_ok() {
+            match collector.finish() {
+                Ok(Some((path, blocks))) => progress.note(&format!(
+                    "# wrote {} ({blocks} telemetry block(s))",
+                    path.display()
+                )),
+                Ok(None) => {}
+                Err(e) => {
+                    return Err(SfError::Simulation {
+                        reason: format!("cannot write telemetry stream: {e}"),
+                    });
+                }
+            }
+        } else {
+            collector.abort();
+        }
+    }
+    result
+}
+
+fn execute_inner(study: &dyn Study, ctx: &RunContext) -> SfResult<Table> {
+    let progress = sf_obs::progress::Progress::global();
     let restored = ctx.resume_checkpoint(study_fingerprint(study, ctx))?;
     if restored > 0 {
         progress.note(&format!(

@@ -52,6 +52,7 @@
 
 pub mod simulator;
 
+pub use sf_obs::telemetry;
 pub use sf_simcore::memory;
 pub use sf_simcore::packet;
 pub use sf_simcore::shard;

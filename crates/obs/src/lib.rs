@@ -25,6 +25,10 @@
 //! - [`rss`] + [`report`]: an in-process `/proc/self/status` peak-RSS probe
 //!   and the schema-versioned `BENCH_<n>.json` perf-trajectory report with
 //!   regression comparison.
+//! - [`telemetry`]: the in-simulator `sf-telemetry/v1` time-series stream —
+//!   per-router queue occupancy, per-link utilisation, credit stalls, and
+//!   energy, sampled at cycle boundaries on the coordinating thread so the
+//!   recorded bytes are bit-identical for any worker x shard count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,3 +39,4 @@ pub mod progress;
 pub mod report;
 pub mod rss;
 pub mod span;
+pub mod telemetry;

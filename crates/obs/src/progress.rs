@@ -31,6 +31,42 @@ const MODE_LIVE: u8 = 2;
 
 const HEARTBEAT_EVERY: Duration = Duration::from_millis(250);
 
+/// Rate limiter for the heartbeat line. Armed at sweep start so the first
+/// beat waits a full interval — a sweep shorter than the interval prints no
+/// heartbeat at all instead of flashing one before totals mean anything.
+#[derive(Debug, Default)]
+struct HeartbeatLimiter {
+    last: Option<Instant>,
+}
+
+impl HeartbeatLimiter {
+    /// A limiter whose first due beat is a full interval after `now`.
+    fn armed(now: Instant) -> Self {
+        Self { last: Some(now) }
+    }
+
+    /// Whether a beat is due at `now`; a due beat re-arms from `now`.
+    fn due(&mut self, now: Instant) -> bool {
+        let due = self
+            .last
+            .is_none_or(|last| now.duration_since(last) >= HEARTBEAT_EVERY);
+        if due {
+            self.last = Some(now);
+        }
+        due
+    }
+}
+
+/// Estimated seconds remaining after `done` of `total` jobs took
+/// `elapsed_secs`; `None` when no estimate exists (nothing done yet, or
+/// nothing left).
+fn eta_seconds(done: usize, total: usize, elapsed_secs: f64) -> Option<f64> {
+    if done == 0 || total <= done || !elapsed_secs.is_finite() || elapsed_secs < 0.0 {
+        return None;
+    }
+    Some(elapsed_secs / done as f64 * (total - done) as f64)
+}
+
 #[derive(Debug, Default)]
 struct SweepState {
     label: String,
@@ -38,7 +74,7 @@ struct SweepState {
     done: usize,
     rows: usize,
     started: Option<Instant>,
-    last_beat: Option<Instant>,
+    beat: HeartbeatLimiter,
     line_open: bool,
 }
 
@@ -120,6 +156,7 @@ impl Progress {
         let label = self.task.lock().expect("progress task poisoned").clone();
         let mut state = self.state.lock().expect("progress state poisoned");
         Self::clear_line(&mut state);
+        let now = Instant::now();
         *state = SweepState {
             label: if label.is_empty() {
                 "sweep".to_string()
@@ -127,7 +164,8 @@ impl Progress {
                 label
             },
             total,
-            started: Some(Instant::now()),
+            started: Some(now),
+            beat: HeartbeatLimiter::armed(now),
             ..SweepState::default()
         };
     }
@@ -140,25 +178,20 @@ impl Progress {
         let mut state = self.state.lock().expect("progress state poisoned");
         state.done += jobs_done;
         state.rows += rows_done;
+        // A tick outside any sweep (start_sweep not called yet) has no
+        // totals or start time — a heartbeat here would print a `0/0 jobs`
+        // line, so it only accumulates.
+        let Some(started) = state.started else {
+            return;
+        };
         let now = Instant::now();
-        let due = state
-            .last_beat
-            .is_none_or(|last| now.duration_since(last) >= HEARTBEAT_EVERY);
-        if !due {
+        if !state.beat.due(now) {
             return;
         }
-        state.last_beat = Some(now);
-        let elapsed = state
-            .started
-            .map_or(Duration::ZERO, |started| now.duration_since(started));
-        let secs = elapsed.as_secs_f64().max(1e-9);
+        let secs = now.duration_since(started).as_secs_f64().max(1e-9);
         let rate = state.rows as f64 / secs;
-        let eta = if state.done > 0 && state.total > state.done {
-            let per_job = secs / state.done as f64;
-            format_eta(per_job * (state.total - state.done) as f64)
-        } else {
-            "--".to_string()
-        };
+        let eta =
+            eta_seconds(state.done, state.total, secs).map_or_else(|| "--".to_string(), format_eta);
         let rss = rss::current_rss_kb().map_or_else(
             || "?".to_string(),
             |kb| format!("{:.1} MB", kb as f64 / 1024.0),
@@ -214,6 +247,39 @@ mod tests {
         assert_eq!(format_eta(f64::INFINITY), "--");
     }
 
+    #[test]
+    fn eta_estimates_remaining_work_and_knows_when_it_cannot() {
+        // No estimate before the first completion or after the last one.
+        assert_eq!(eta_seconds(0, 10, 5.0), None);
+        assert_eq!(eta_seconds(10, 10, 5.0), None);
+        // A total smaller than done (restored jobs over-delivering) must
+        // not underflow into a bogus estimate.
+        assert_eq!(eta_seconds(12, 10, 5.0), None);
+        assert_eq!(eta_seconds(0, 0, 5.0), None);
+        assert_eq!(eta_seconds(2, 10, f64::NAN), None);
+        // 2 of 10 jobs in 4s -> 2s/job -> 16s for the remaining 8.
+        assert_eq!(eta_seconds(2, 10, 4.0), Some(16.0));
+        assert_eq!(eta_seconds(5, 10, 5.0), Some(5.0));
+    }
+
+    #[test]
+    fn heartbeat_limiter_armed_at_sweep_start_waits_a_full_interval() {
+        let t0 = Instant::now();
+        let mut armed = HeartbeatLimiter::armed(t0);
+        // The short-run edge case: within the first interval nothing fires,
+        // so a sweep faster than HEARTBEAT_EVERY prints no heartbeat.
+        assert!(!armed.due(t0));
+        assert!(!armed.due(t0 + HEARTBEAT_EVERY / 2));
+        assert!(armed.due(t0 + HEARTBEAT_EVERY));
+        // A due beat re-arms from its own instant.
+        assert!(!armed.due(t0 + HEARTBEAT_EVERY + HEARTBEAT_EVERY / 2));
+        assert!(armed.due(t0 + HEARTBEAT_EVERY * 2));
+        // The unarmed default fires immediately — which is why tick gates
+        // on the sweep having started before consulting the limiter.
+        let mut fresh = HeartbeatLimiter::default();
+        assert!(fresh.due(t0));
+    }
+
     // Mode state is process-global; exercise the transitions in one test.
     #[test]
     fn quiet_mode_suppresses_notes_and_ticks_are_inert_when_unconfigured() {
@@ -226,6 +292,12 @@ mod tests {
         progress.start_sweep(4);
         progress.tick(1, 10);
         progress.finish_sweep();
+        // A tick arriving before any start_sweep (the very-short-run edge
+        // case) must never open a heartbeat line, whatever the mode.
+        progress.configure(false);
+        progress.tick(1, 1);
+        assert!(!progress.state.lock().expect("state").line_open);
+        progress.reset();
         progress.configure(true);
         assert!(progress.is_quiet());
         progress.note("# this line must not appear");

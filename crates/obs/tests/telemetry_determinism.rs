@@ -1,0 +1,75 @@
+//! End-to-end telemetry determinism: running the same quick study under
+//! every worker × shard combination must publish a **byte-identical**
+//! `sf-telemetry/v1` stream.
+//!
+//! This is the out-of-band counterpart of `merge_determinism.rs`. The
+//! kernel samples at cycle boundaries on the coordinating thread while the
+//! shard workers are parked, so every sampled quantity (queue depths, link
+//! occupancies, credit stalls, committed energy) is shard-invariant
+//! simulation state; across the sweep pool, blocks are reordered into job
+//! enumeration order by the collector's scoped delivery. Neither knob may
+//! leak into the stream.
+//!
+//! Like `merge_determinism.rs`, `stringfigure` is a dev-dependency here —
+//! the leaf crate tests the full stack it instruments.
+
+use stringfigure::study::{execute, RunContext, StudyRegistry};
+
+// One #[test] on purpose: the telemetry collector, progress reporter, and
+// the two environment knobs are process-global state.
+#[test]
+fn telemetry_streams_are_bit_identical_across_worker_shard_matrix() {
+    let registry = StudyRegistry::all();
+    let study = registry
+        .get("fault_resilience")
+        .expect("fault_resilience registered");
+    let progress = sf_obs::progress::Progress::global();
+    progress.configure(true);
+
+    let dir = std::env::temp_dir().join(format!("sf-telemetry-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let mut reference: Option<(String, Vec<u8>)> = None;
+    for workers in ["1", "4"] {
+        for shards in ["1", "2", "4"] {
+            std::env::set_var("SF_HARNESS_THREADS", workers);
+            std::env::set_var("SF_SIM_SHARDS", shards);
+            let label = format!("workers={workers} shards={shards}");
+            let path = dir.join(format!("w{workers}-s{shards}.bin"));
+            let ctx = RunContext::new().quick(true).with_telemetry(&path);
+            execute(study, &ctx).expect("quick fault_resilience run");
+
+            let bytes = std::fs::read(&path).expect("telemetry stream published");
+            assert!(
+                bytes.starts_with(sf_obs::telemetry::MAGIC),
+                "{label}: stream does not start with the schema magic"
+            );
+            assert!(
+                !path.with_extension("bin.part").exists(),
+                "{label}: unpublished .part left behind"
+            );
+            let blocks = sf_obs::telemetry::parse_stream(&bytes).expect("published stream parses");
+            assert!(!blocks.is_empty(), "{label}: no telemetry blocks recorded");
+            assert!(
+                blocks.iter().all(|b| b.samples() > 0 && b.routers > 0),
+                "{label}: a block recorded no samples"
+            );
+
+            match &reference {
+                None => reference = Some((label, bytes)),
+                Some((ref_label, expected)) => assert!(
+                    &bytes == expected,
+                    "telemetry stream diverged between {ref_label} and {label} \
+                     ({} vs {} bytes)",
+                    expected.len(),
+                    bytes.len()
+                ),
+            }
+        }
+    }
+
+    std::env::remove_var("SF_HARNESS_THREADS");
+    std::env::remove_var("SF_SIM_SHARDS");
+    let _ = std::fs::remove_dir_all(&dir);
+    progress.reset();
+}

@@ -1,0 +1,146 @@
+//! Property tests for the `sf-telemetry/v1` codec: whatever a
+//! [`RunSeries`] records round-trips through encode/parse exactly, and the
+//! parser never panics on truncated or corrupted input.
+//!
+//! The offline proptest shim samples primitive dimensions; the cell values
+//! themselves come from a local splitmix64 stream seeded per case, so every
+//! failure is reproducible from the printed inputs.
+
+use proptest::prelude::*;
+use sf_obs::telemetry::{parse_stream, RunSeries, MAGIC};
+
+/// Deterministic value stream for filling series cells.
+struct Vals {
+    state: u64,
+}
+
+impl Vals {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Finite energy-like value in `[-1e12, 1e12)`.
+    #[allow(clippy::cast_precision_loss)]
+    fn energy(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64 * 2e12 - 1e12
+    }
+}
+
+/// The flat values one generated series holds, kept for the round-trip
+/// comparison: per sample, `(queue, stalls)` per router, occupancy per
+/// link, and the energy pair.
+type Sample = (Vec<(u32, u64)>, Vec<u32>, (f64, f64));
+
+#[allow(clippy::cast_possible_truncation)]
+fn build(
+    routers: usize,
+    links: usize,
+    every: u64,
+    samples: usize,
+    seed: u64,
+) -> (RunSeries, Vec<Sample>) {
+    let mut vals = Vals { state: seed };
+    let mut series = RunSeries::new(routers, links, every);
+    let mut expected = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let energy = (vals.energy(), vals.energy());
+        assert!(series.begin_sample(i as u64 * every, energy.0, energy.1));
+        let mut row = Vec::with_capacity(routers);
+        for _ in 0..routers {
+            let (queue, stalls) = (vals.next() as u32, vals.next());
+            series.push_router(queue, stalls);
+            row.push((queue, stalls));
+        }
+        let mut occs = Vec::with_capacity(links);
+        for _ in 0..links {
+            let occ = vals.next() as u32;
+            series.push_link(occ);
+            occs.push(occ);
+        }
+        expected.push((row, occs, energy));
+    }
+    (series, expected)
+}
+
+fn stream_of(series: &RunSeries) -> Vec<u8> {
+    let mut stream = MAGIC.to_vec();
+    stream.extend_from_slice(&series.encode());
+    stream
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encode_parse_round_trips_exactly(
+        routers in 0usize..4,
+        links in 0usize..5,
+        every in 1u64..8,
+        samples in 0usize..12,
+        seed in any::<u64>(),
+    ) {
+        let (series, expected) = build(routers, links, every, samples, seed);
+        let blocks = parse_stream(&stream_of(&series)).expect("own encoding parses");
+        prop_assert_eq!(blocks.len(), 1);
+        let block = &blocks[0];
+        prop_assert_eq!(block.routers as usize, routers);
+        prop_assert_eq!(block.links as usize, links);
+        prop_assert_eq!(block.every, every);
+        prop_assert_eq!(block.samples(), samples);
+        for (i, (row, occs, energy)) in expected.iter().enumerate() {
+            prop_assert_eq!(block.cycles[i], i as u64 * every);
+            let queues: Vec<u32> = row.iter().map(|&(q, _)| q).collect();
+            let stalls: Vec<u64> = row.iter().map(|&(_, s)| s).collect();
+            prop_assert_eq!(block.queue_row(i), &queues[..]);
+            prop_assert_eq!(block.stall_row(i), &stalls[..]);
+            prop_assert_eq!(block.link_row(i), &occs[..]);
+            prop_assert_eq!(block.energy[i], *energy);
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_parses(
+        routers in 0usize..4,
+        links in 0usize..5,
+        every in 1u64..8,
+        samples in 1usize..12,
+        seed in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let stream = stream_of(&build(routers, links, every, samples, seed).0);
+        // Any strict prefix past the bare magic (itself a valid empty
+        // stream) must be an error — never a panic, never a silently
+        // shortened success.
+        let span = stream.len() - MAGIC.len() - 1;
+        let cut = MAGIC.len() + 1 + (cut_seed as usize % span.max(1));
+        prop_assert!(cut < stream.len());
+        prop_assert!(parse_stream(&stream[..cut]).is_err());
+    }
+
+    #[test]
+    fn corruption_never_panics(
+        routers in 0usize..4,
+        links in 0usize..5,
+        every in 1u64..8,
+        samples in 0usize..12,
+        seed in any::<u64>(),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let mut stream = stream_of(&build(routers, links, every, samples, seed).0);
+        let pos = pos_seed as usize % stream.len();
+        stream[pos] = byte;
+        // A flipped payload byte may still parse; a flipped header byte
+        // fails — either way the parser must stay total.
+        let _ = parse_stream(&stream);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = parse_stream(&bytes);
+    }
+}

@@ -316,6 +316,11 @@ struct SerialState {
     /// Outstanding fault repairs, in strike order (deterministic).
     fault_repairs: Vec<FaultRepair>,
     timers: PhaseTimers,
+    /// The run's telemetry series, sampled at cycle boundaries while the
+    /// routing workers are parked (see [`maybe_sample_telemetry`]); `None`
+    /// unless telemetry is both configured process-wide and enabled in the
+    /// simulation config.
+    telemetry: Option<Box<sf_obs::telemetry::RunSeries>>,
 }
 
 /// View over the credit counters handed to adaptive routing protocols.
@@ -469,6 +474,21 @@ impl ShardedSimulator {
             }
         });
 
+        // Telemetry recording costs nothing unless both gates are open: a
+        // nonzero stride in the config and a collector configured by the
+        // process (the CLI's --telemetry). The series covers every router
+        // in id order and every directed link in construction order.
+        let telemetry = if config.telemetry_every > 0 && sf_obs::telemetry::enabled() {
+            let links = adjacency.iter().map(Vec::len).sum();
+            Some(Box::new(sf_obs::telemetry::RunSeries::new(
+                num_nodes,
+                links,
+                config.telemetry_every,
+            )))
+        } else {
+            None
+        };
+
         let shards = (0..plan.count())
             .map(|s| {
                 Mutex::new(ShardState {
@@ -514,6 +534,7 @@ impl ShardedSimulator {
                 pending_replies: BinaryHeap::new(),
                 fault_repairs: Vec::new(),
                 timers: PhaseTimers::default(),
+                telemetry,
             },
         })
     }
@@ -578,11 +599,10 @@ impl ShardedSimulator {
     #[must_use]
     pub fn memory_stats(&self) -> Vec<crate::memory::MemoryNodeStats> {
         let guards = self.shared.lock_all();
-        (0..self.shared.num_nodes)
-            .map(|m| {
-                let (shard, slot) = self.shared.plan.locate(m);
-                guards[shard].routers[slot].memory.stats()
-            })
+        self.shared
+            .plan
+            .locations()
+            .map(|(_, shard, slot)| guards[shard].routers[slot].memory.stats())
             .collect()
     }
 
@@ -693,6 +713,10 @@ fn run_loop(
     }
     merge_local_stats(shared, serial);
     serial.stats.cycles = serial.cycle;
+    if let Some(series) = serial.telemetry.take() {
+        sf_obs::metrics::global().counter_add("sim.telemetry_samples", series.samples() as u64);
+        sf_obs::telemetry::Collector::global().submit(series.encode());
+    }
     if sf_obs::span::timing_enabled() {
         let tracer = sf_obs::span::Tracer::global();
         let timers = std::mem::take(&mut serial.timers);
@@ -709,8 +733,7 @@ fn run_loop(
 /// cannot double-count.
 fn merge_local_stats(shared: &Shared, serial: &mut SerialState) {
     let mut guards = shared.lock_all();
-    for m in 0..shared.num_nodes {
-        let (shard, slot) = shared.plan.locate(m);
+    for (_, shard, slot) in shared.plan.locations() {
         let local = std::mem::take(&mut guards[shard].routers[slot].local);
         let stats = &mut serial.stats;
         stats.blocked_forwards += local.blocked_forwards;
@@ -745,6 +768,48 @@ fn outstanding(shared: &Shared, serial: &SerialState) -> u64 {
     queued + backlog + (serial.in_flight.len() + serial.pending_replies.len()) as u64
 }
 
+/// Records one telemetry sample if the series is on and the cycle is on
+/// stride. Runs at the cycle boundary with all shard guards held and the
+/// routing workers parked, so every read observes the exact state the
+/// serial reference would hold: queue depths and stall counters live under
+/// the guards, the credit counters are quiescent (relaxed loads are
+/// race-free here, the same argument fault injection makes), and the
+/// energy accumulators were committed serially in id order.
+fn maybe_sample_telemetry(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &[MutexGuard<'_, ShardState>],
+) {
+    let (network_pj, dram_pj) = serial.stats.energy_breakdown_pj();
+    let cycle = serial.cycle;
+    let Some(series) = serial.telemetry.as_deref_mut() else {
+        return;
+    };
+    if !series.begin_sample(cycle, network_pj, dram_pj) {
+        return;
+    }
+    for (_, shard, slot) in shared.plan.locations() {
+        let router = &guards[shard].routers[slot];
+        let depth = router.injection.len()
+            + router
+                .queues
+                .iter()
+                .flat_map(|per_vc| per_vc.iter())
+                .map(VecDeque::len)
+                .sum::<usize>();
+        series.push_router(depth as u32, router.local.blocked_forwards);
+    }
+    let vcs = shared.config.virtual_channels;
+    for (node, nbs) in shared.adjacency.iter().enumerate() {
+        for link in 0..nbs.len() {
+            let occ: usize = (0..vcs)
+                .map(|vc| shared.occ(node, link, vc).load(Ordering::Relaxed))
+                .sum();
+            series.push_link(occ as u32);
+        }
+    }
+}
+
 /// Advances the simulation by one cycle.
 fn step(
     shared: &Shared,
@@ -757,6 +822,10 @@ fn step(
     {
         let mut guards = shared.lock_all();
         pre_route_phases(shared, serial, &mut guards, traffic)?;
+        // Telemetry sampling shares this boundary with fault injection:
+        // every router quiescent, all state serial-equivalent, so the
+        // sample is bit-identical for any worker x shard count.
+        maybe_sample_telemetry(shared, serial, &guards);
     }
 
     // Routing phase: every shard processes its routers, wavefront-ordered.

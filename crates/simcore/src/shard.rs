@@ -169,6 +169,17 @@ impl ShardPlan {
     pub fn wait_for(&self, m: usize) -> &[usize] {
         &self.wait_for[m]
     }
+
+    /// Every router's location in increasing id order, as
+    /// `(router id, owning shard, slot within that shard)` — the iteration
+    /// shape of every id-ordered walk over sharded state (stat merging,
+    /// memory stats, telemetry sampling).
+    pub fn locations(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.wait_for.len()).map(|m| {
+            let (shard, slot) = self.locate(m);
+            (m, shard, slot)
+        })
+    }
 }
 
 #[cfg(test)]

@@ -115,6 +115,13 @@ impl SimulationStats {
         self.network_energy_pj + self.dram_energy_pj
     }
 
+    /// The two cumulative energy accumulators as `(network pJ, DRAM pJ)` —
+    /// the pair the telemetry sampler snapshots each sampled cycle.
+    #[must_use]
+    pub fn energy_breakdown_pj(&self) -> (f64, f64) {
+        (self.network_energy_pj, self.dram_energy_pj)
+    }
+
     /// Energy-delay product using average round-trip latency (falls back to
     /// network latency when no requests completed), in pJ·cycles.
     #[must_use]

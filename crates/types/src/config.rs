@@ -357,6 +357,12 @@ pub struct SimulationConfig {
     /// machinery; `Some` plans are pure functions of `(seed, cycle)`, so the
     /// shard-count bit-identity contract extends to faulty runs.
     pub fault: Option<FaultPlan>,
+    /// Telemetry sampling stride in cycles (`0` — the default — disables
+    /// recording). Sampling happens at cycle boundaries on the coordinating
+    /// thread, so it is strictly out-of-band: it never affects simulation
+    /// results, and the recorded stream is itself bit-identical for any
+    /// worker or shard count.
+    pub telemetry_every: u64,
 }
 
 impl Default for SimulationConfig {
@@ -373,6 +379,7 @@ impl Default for SimulationConfig {
             seed: 0xabcd_1234,
             shards: 0,
             fault: None,
+            telemetry_every: 0,
         }
     }
 }
@@ -391,6 +398,15 @@ impl SimulationConfig {
     #[must_use]
     pub fn with_fault(mut self, fault: Option<FaultPlan>) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Returns a copy of this configuration with a telemetry sampling
+    /// stride in cycles (`0` disables recording). Out-of-band: never
+    /// changes simulation results.
+    #[must_use]
+    pub fn with_telemetry_every(mut self, every: u64) -> Self {
+        self.telemetry_every = every;
         self
     }
 
@@ -512,6 +528,9 @@ mod tests {
         let c = NetworkConfig::default().with_seed(7).with_shortcuts(false);
         assert_eq!(c.seed, 7);
         assert!(!c.shortcuts);
+        let s = SimulationConfig::default().with_telemetry_every(64);
+        assert_eq!(s.telemetry_every, 64);
+        assert_eq!(SimulationConfig::default().telemetry_every, 0);
     }
 
     #[test]
