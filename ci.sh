@@ -150,6 +150,48 @@ if [[ "${1:-}" != "--quick" ]]; then
     rm -f "$mega_serial_csv" "$mega_resume_csv" "$mega_resume_csv.journal"
     echo "==> mega-sweep artifacts byte-identical (serial vs interrupted+compacted+resumed)"
 
+    # Distributed-fabric smoke: the same megasweep dispatched as 3 partition
+    # worker processes must converge to bytes identical to the serial run —
+    # the whole point of the partition/merge/dispatch fabric.
+    echo "==> sfbench dispatch --workers 3 run megasweep --quick smoke"
+    fabric_dir="$(mktemp -d)"
+    "$sfbench" run megasweep --quick --no-resume --csv "$fabric_dir/serial.csv" \
+        --quiet >/dev/null
+    "$sfbench" dispatch --workers 3 --quiet run megasweep --quick \
+        --csv "$fabric_dir/dispatched.csv" >/dev/null
+    cmp "$fabric_dir/serial.csv" "$fabric_dir/dispatched.csv"
+    echo "==> dispatched artifacts byte-identical to the serial run"
+
+    # Straggler convergence: run two of three partitions, kill the third
+    # mid-flight after its journal has entries, then let dispatch re-drive
+    # the full set — re-issued workers resume from the partition journals
+    # and the merge must still hit the serial bytes.
+    echo "==> dispatch straggler smoke (kill one partition worker, re-dispatch)"
+    "$sfbench" run megasweep --quick --quiet \
+        --csv "$fabric_dir/victim.csv" --partition 1/3 >/dev/null
+    "$sfbench" run megasweep --quick --quiet \
+        --csv "$fabric_dir/victim.csv" --partition 3/3 >/dev/null
+    "$sfbench" run megasweep --quick --quiet \
+        --csv "$fabric_dir/victim.csv" --partition 2/3 >/dev/null 2>&1 &
+    victim_pid=$!
+    for _ in $(seq 1 1500); do
+        if [[ -f "$fabric_dir/victim.csv.p2of3.journal" ]] \
+            && (( $(wc -l < "$fabric_dir/victim.csv.p2of3.journal") >= 2 )); then
+            break
+        fi
+        sleep 0.01
+    done
+    kill -9 "$victim_pid" 2>/dev/null || true
+    wait "$victim_pid" 2>/dev/null || true
+    if [[ -f "$fabric_dir/victim.csv.p2of3" ]]; then
+        echo "    note: partition finished before the kill; re-issue path not exercised this time"
+    fi
+    "$sfbench" dispatch --workers 3 --quiet run megasweep --quick \
+        --csv "$fabric_dir/victim.csv" >/dev/null
+    cmp "$fabric_dir/serial.csv" "$fabric_dir/victim.csv"
+    rm -rf "$fabric_dir"
+    echo "==> killed-partition dispatch converged to the serial bytes"
+
     # Extended-scenario smoke: the fault-injection study must uphold the
     # same determinism contract — a 2-worker x 2-shard run of a faulty
     # network produces bytes identical to the fully serial run.
@@ -167,12 +209,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     # Perf trajectory: record this PR's in-process bench snapshot and gate
     # against the newest prior BENCH_*.json (wall-clock > +25% on a probe,
     # or peak RSS > +10%, fails the build). The first run only records.
-    echo "==> sfbench bench (perf snapshot BENCH_7.json)"
-    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_7\.json$' | sort -V | tail -1 || true)"
+    echo "==> sfbench bench (perf snapshot BENCH_8.json)"
+    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_8\.json$' | sort -V | tail -1 || true)"
     if [[ -n "${prev_bench:-}" ]]; then
-        "$sfbench" bench --label BENCH_7 --out BENCH_7.json --baseline "$prev_bench"
+        "$sfbench" bench --label BENCH_8 --out BENCH_8.json --baseline "$prev_bench"
     else
-        "$sfbench" bench --label BENCH_7 --out BENCH_7.json
+        "$sfbench" bench --label BENCH_8 --out BENCH_8.json
         echo "    no prior BENCH_*.json snapshot; recorded baseline only"
     fi
 fi

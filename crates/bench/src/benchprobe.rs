@@ -81,6 +81,58 @@ fn push_entry(entries: &mut Vec<BenchEntry>, progress: &Progress, name: &str, ru
     });
 }
 
+/// The coordinator-tax probe: wall-clock delta between `dispatch --workers
+/// 1` and a direct `run` of the same quick megasweep, both as subprocesses
+/// of this binary so process startup cost cancels out. What remains is the
+/// dispatch fabric itself — worker spawn, heartbeat plumbing, the poll
+/// loop, and the merge. Returns the per-sample deltas, or `None` if a
+/// subprocess failed (the probe is then skipped, not fatal).
+fn dispatch_overhead_runs(samples: u32) -> Option<(Vec<Duration>, Vec<Duration>)> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = std::env::temp_dir().join(format!("sf-bench-dispatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let run_one = |args: &[&str]| -> Option<Duration> {
+        let started = Instant::now();
+        let status = std::process::Command::new(&exe)
+            .args(args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .ok()?;
+        status.success().then(|| started.elapsed())
+    };
+    let direct_csv = dir.join("direct.csv");
+    let dispatched_csv = dir.join("dispatched.csv");
+    let direct_args = [
+        "run",
+        "megasweep",
+        "--quick",
+        "--quiet",
+        "--no-resume",
+        "--csv",
+        direct_csv.to_str()?,
+    ];
+    let dispatch_args = [
+        "dispatch",
+        "--workers",
+        "1",
+        "--quiet",
+        "run",
+        "megasweep",
+        "--quick",
+        "--csv",
+        dispatched_csv.to_str()?,
+    ];
+    let mut direct = Vec::with_capacity(samples as usize);
+    let mut dispatched = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        direct.push(run_one(&direct_args)?);
+        dispatched.push(run_one(&dispatch_args)?);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Some((direct, dispatched))
+}
+
 /// Entry point for `sfbench bench`; returns the process exit code.
 #[must_use]
 pub fn run(args: &CliArgs) -> i32 {
@@ -153,6 +205,24 @@ pub fn run(args: &CliArgs) -> i32 {
         }
         push_entry(&mut entries, progress, "fig10_quick", &runs);
     }
+    // Dispatch fabric tax: median(dispatch-of-1) - median(direct run),
+    // floored at zero. Recorded as a delta so the trajectory tracks the
+    // coordinator's own cost rather than megasweep's.
+    match dispatch_overhead_runs(samples) {
+        Some((direct, dispatched)) => {
+            let delta_ms =
+                (BenchReport::median_ms(&dispatched) - BenchReport::median_ms(&direct)).max(0.0);
+            progress.note(&format!(
+                "# bench dispatch_overhead: {delta_ms:.3} ms delta"
+            ));
+            entries.push(BenchEntry {
+                name: "dispatch_overhead".to_string(),
+                wall_ms: delta_ms,
+                samples,
+            });
+        }
+        None => eprintln!("# warning: dispatch_overhead probe skipped (worker subprocess failed)"),
+    }
 
     let report = BenchReport {
         label,
@@ -175,6 +245,13 @@ pub fn run(args: &CliArgs) -> i32 {
         match std::fs::read_to_string(&path) {
             Ok(text) => match BenchReport::parse(&text) {
                 Some(baseline) => {
+                    let drift = report.drift_vs(&baseline);
+                    if drift > 1.05 {
+                        progress.note(&format!(
+                            "# machine drift vs {}: x{drift:.2} (median wall-clock ratio; baseline scaled before gating)",
+                            baseline.label
+                        ));
+                    }
                     let problems = report.regressions_vs(&baseline);
                     if !problems.is_empty() {
                         for problem in &problems {

@@ -21,6 +21,7 @@
 
 pub mod benchprobe;
 pub mod cli;
+pub mod dispatch;
 pub mod report;
 
 pub use stringfigure::study::{fmt_f, fmt_percent, print_table};

@@ -1,0 +1,200 @@
+//! End-to-end tests of the distributed-sweep fabric against the real
+//! `sfbench` binary: partitioned runs must merge to the exact bytes of the
+//! serial run (the golden megasweep fixture), including when a worker is
+//! killed mid-partition and resumed, and `sfbench dispatch` must drive the
+//! whole fan-out/supervise/merge cycle itself.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const GOLDEN: &str = include_str!("golden/megasweep.quick.csv");
+
+fn sfbench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sfbench"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sf-fabric-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn run_partition(csv: &Path, coordinate: &str) {
+    let status = sfbench()
+        .args([
+            "run",
+            "megasweep",
+            "--quick",
+            "--quiet",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--partition",
+            coordinate,
+        ])
+        .status()
+        .expect("spawn sfbench");
+    assert!(status.success(), "partition {coordinate} failed");
+}
+
+#[test]
+fn three_partition_merge_is_byte_identical_to_the_golden_serial_run() {
+    let dir = temp_dir("merge");
+    let csv = dir.join("mega.csv");
+    for coordinate in ["1/3", "2/3", "3/3"] {
+        run_partition(&csv, coordinate);
+    }
+    let status = sfbench()
+        .args(["merge", "--quiet", "--csv", csv.to_str().unwrap()])
+        .status()
+        .expect("spawn sfbench merge");
+    assert!(status.success(), "merge failed");
+    let merged = std::fs::read_to_string(&csv).expect("read merged CSV");
+    assert_eq!(
+        merged, GOLDEN,
+        "merged shards differ from the serial golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_killed_partition_resumes_from_its_journal_and_still_merges_cleanly() {
+    let dir = temp_dir("kill");
+    let csv = dir.join("mega.csv");
+    run_partition(&csv, "1/3");
+    run_partition(&csv, "3/3");
+
+    // Start partition 2 with an aggressive journal cap so entries land
+    // fast, wait until at least two jobs are journalled, then kill -9.
+    let shard = dir.join("mega.csv.p2of3");
+    let journal = dir.join("mega.csv.p2of3.journal");
+    let mut child = sfbench()
+        .args([
+            "run",
+            "megasweep",
+            "--quick",
+            "--quiet",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--partition",
+            "2/3",
+        ])
+        .spawn()
+        .expect("spawn partition 2");
+    let mut journalled = false;
+    for _ in 0..600 {
+        if let Ok(text) = std::fs::read_to_string(&journal) {
+            if text.lines().count() >= 2 {
+                journalled = true;
+                break;
+            }
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let finished = child.try_wait().expect("try_wait").is_some();
+    child.kill().ok();
+    child.wait().ok();
+    if !finished {
+        assert!(
+            journalled,
+            "partition 2 never journalled a job before being killed"
+        );
+        assert!(!shard.exists(), "kill came too late; shard already written");
+    }
+
+    // The re-issue path: the same command restores the journalled jobs and
+    // completes the rest of the partition.
+    run_partition(&csv, "2/3");
+    let status = sfbench()
+        .args(["merge", "--quiet", "--csv", csv.to_str().unwrap()])
+        .status()
+        .expect("spawn sfbench merge");
+    assert!(status.success(), "merge after kill+resume failed");
+    let merged = std::fs::read_to_string(&csv).expect("read merged CSV");
+    assert_eq!(
+        merged, GOLDEN,
+        "kill + resume + merge differs from the serial golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dispatch_of_three_produces_the_golden_bytes_and_cleans_its_shards() {
+    let dir = temp_dir("dispatch");
+    let csv = dir.join("mega.csv");
+    let status = sfbench()
+        .args([
+            "dispatch",
+            "--workers",
+            "3",
+            "--quiet",
+            "run",
+            "megasweep",
+            "--quick",
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .status()
+        .expect("spawn sfbench dispatch");
+    assert!(status.success(), "dispatch failed");
+    let merged = std::fs::read_to_string(&csv).expect("read dispatched CSV");
+    assert_eq!(
+        merged, GOLDEN,
+        "dispatched run differs from the serial golden"
+    );
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read test dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name != "mega.csv")
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "dispatch left shard debris behind: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_with_a_missing_partition_exits_2_and_names_it() {
+    let dir = temp_dir("missing");
+    let csv = dir.join("mega.csv");
+    run_partition(&csv, "1/3");
+    run_partition(&csv, "3/3");
+    let output = sfbench()
+        .args(["merge", "--csv", csv.to_str().unwrap()])
+        .output()
+        .expect("spawn sfbench merge");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("missing partition(s) 2/3"),
+        "stderr should name the gap: {stderr}"
+    );
+    assert!(
+        stderr.contains("--allow-partial"),
+        "stderr should suggest --allow-partial: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn list_json_reports_point_counts_and_row_streaming() {
+    let output = sfbench()
+        .args(["list", "--json"])
+        .output()
+        .expect("spawn sfbench list");
+    assert!(output.status.success());
+    let text = String::from_utf8_lossy(&output.stdout);
+    // megasweep is the dispatchable study: quick grid is 2 designs x 2
+    // sizes x 3 rates x 2 seeds = 24 points, and it streams rows.
+    let mega = text
+        .lines()
+        .find(|l| l.contains("\"name\": \"megasweep\""))
+        .expect("megasweep listed");
+    assert!(mega.contains("\"streams_rows\": true"), "{mega}");
+    assert!(mega.contains("\"quick_points\": 24"), "{mega}");
+}

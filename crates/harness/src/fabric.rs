@@ -1,0 +1,971 @@
+//! Distributed sweep fabric: deterministic partitioning and shard merging.
+//!
+//! A streaming sweep enumerates its points as an `ExactSizeIterator`, so the
+//! grid can be sliced by **contiguous index range** into `N` partitions whose
+//! union is the serial run by construction: partition `i/N` runs exactly the
+//! jobs with global indices in [`partition_range`], each job keeps its global
+//! index (and therefore its derived seed, journal key, and telemetry scope),
+//! and the rows it emits land in a shard artifact named by [`shard_path`].
+//! Concatenating the shards in partition order is then *byte-identical* to
+//! the unpartitioned artifact — no sorting, no re-keying, no tolerance.
+//!
+//! Every shard is accompanied by a [`ShardMeta`] sidecar (`<shard>.meta`)
+//! recording the study, mode, serial config fingerprint, partition
+//! coordinates, and covered index range. [`plan_merge`] cross-checks the
+//! sidecars — same study/config/partition count, no duplicate or out-of-range
+//! partitions, ranges tiling exactly `0..total` — so shards from mismatched
+//! configurations are rejected with both the expected and found fingerprints
+//! instead of silently producing a franken-artifact.
+//!
+//! For an incomplete shard set, [`partial_journal`] converts the present CSV
+//! shards into a resumable checkpoint [`Journal`] under the **serial**
+//! fingerprint: a plain `sfbench run` against that journal restores every
+//! merged row and computes only the missing ranges.
+
+use crate::journal::Journal;
+use crate::table::decode_csv_line;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// Suffix of the metadata sidecar written next to every shard artifact.
+pub const META_SUFFIX: &str = ".meta";
+
+/// Header line of the metadata sidecar format.
+const META_HEADER: &str = "#sf-shard v1";
+
+/// One partition coordinate `i/N` (1-based index `i` out of `N` total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Partition {
+    /// 1-based partition index, `1..=count`.
+    pub index: u32,
+    /// Total number of partitions.
+    pub count: u32,
+}
+
+impl Partition {
+    /// Builds a partition coordinate, validating `1 <= index <= count`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for out-of-range coordinates.
+    pub fn new(index: u32, count: u32) -> Result<Self, String> {
+        if count == 0 {
+            return Err("partition count must be at least 1".into());
+        }
+        if index == 0 || index > count {
+            return Err(format!("partition index {index} out of range 1..={count}"));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `2/3`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for anything that is not a valid
+    /// `i/N` with `1 <= i <= N`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/N (e.g. 2/3), got {text:?}"))?;
+        let index: u32 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad partition index in {text:?}"))?;
+        let count: u32 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad partition count in {text:?}"))?;
+        Self::new(index, count)
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// The contiguous global index range partition `p` covers in a sweep of
+/// `len` points: ranges are balanced (sizes differ by at most one, earlier
+/// partitions take the remainder) and concatenate to exactly `0..len`.
+#[must_use]
+pub fn partition_range(len: usize, p: Partition) -> Range<usize> {
+    let n = p.count as usize;
+    let i = (p.index - 1) as usize;
+    let base = len / n;
+    let extra = len % n;
+    let start = i * base + i.min(extra);
+    let size = base + usize::from(i < extra);
+    start..start + size
+}
+
+/// The shard artifact path for partition `p` of base artifact `base`:
+/// `<base>.p<i>of<N>`. The full base file name is kept (never replaced via
+/// extension surgery) so sibling artifacts cannot collide.
+#[must_use]
+pub fn shard_path(base: &Path, p: Partition) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".p{}of{}", p.index, p.count));
+    PathBuf::from(name)
+}
+
+/// Recovers the partition coordinate from a shard file name produced by
+/// [`shard_path`], or `None` for a non-shard path.
+#[must_use]
+pub fn parse_shard_suffix(path: &Path) -> Option<Partition> {
+    let name = path.file_name()?.to_str()?;
+    let (_, suffix) = name.rsplit_once(".p")?;
+    let (index, count) = suffix.split_once("of")?;
+    Partition::new(index.parse().ok()?, count.parse().ok()?).ok()
+}
+
+/// Finds every shard of `base` (`<base>.p<i>of<N>` files) in its directory,
+/// sorted by partition index. Shards disagreeing on the partition count are
+/// rejected here, before any metadata is read.
+///
+/// # Errors
+///
+/// I/O errors reading the directory, or a mixed-count shard set.
+pub fn discover_shards(base: &Path) -> Result<Vec<(Partition, PathBuf)>, MergeError> {
+    let dir = if base.parent().is_none_or(|p| p.as_os_str().is_empty()) {
+        Path::new(".")
+    } else {
+        base.parent().expect("non-empty parent")
+    };
+    let base_name = base
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| MergeError::Shard(format!("bad base path {}", base.display())))?;
+    let mut shards = Vec::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| MergeError::Io(format!("reading {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| MergeError::Io(e.to_string()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(suffix) = name.strip_prefix(base_name) else {
+            continue;
+        };
+        // Only the shard artifacts themselves — not their .meta/.journal
+        // siblings, which also start with the shard name.
+        let Some(coords) = suffix.strip_prefix(".p") else {
+            continue;
+        };
+        let Some((index, count)) = coords.split_once("of") else {
+            continue;
+        };
+        let (Ok(index), Ok(count)) = (index.parse(), count.parse()) else {
+            continue;
+        };
+        let Ok(p) = Partition::new(index, count) else {
+            continue;
+        };
+        shards.push((p, entry.path()));
+    }
+    shards.sort();
+    if let Some(first) = shards.first().map(|(p, _)| p.count) {
+        if let Some((bad, path)) = shards.iter().find(|(p, _)| p.count != first) {
+            return Err(MergeError::Shard(format!(
+                "mixed partition counts under {}: found both /{} and {} ({})",
+                base.display(),
+                first,
+                bad,
+                path.display()
+            )));
+        }
+    }
+    Ok(shards)
+}
+
+/// The artifact format a shard holds, recorded in its [`ShardMeta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFormat {
+    /// CSV rows from a `RowSink::csv`.
+    Csv,
+    /// A JSON array of row objects from a `RowSink::json`.
+    Json,
+    /// An `sf-telemetry/v1` binary stream.
+    Telemetry,
+}
+
+impl ShardFormat {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Csv => "csv",
+            Self::Json => "json",
+            Self::Telemetry => "telemetry",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Self> {
+        match text {
+            "csv" => Some(Self::Csv),
+            "json" => Some(Self::Json),
+            "telemetry" => Some(Self::Telemetry),
+            _ => None,
+        }
+    }
+}
+
+/// The metadata sidecar written next to every shard artifact: everything a
+/// merge needs to validate compatibility without re-deriving the run
+/// configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// Study name the shard belongs to.
+    pub study: String,
+    /// Scale mode (`quick` / `full`, plus any scale override summary).
+    pub mode: String,
+    /// The **serial** (unpartitioned) config fingerprint — identical across
+    /// all shards of one run, and equal to the fingerprint a serial resume
+    /// journal would carry.
+    pub fingerprint: u64,
+    /// This shard's partition coordinate.
+    pub partition: Partition,
+    /// Global point-index range the shard covers.
+    pub range: Range<usize>,
+    /// Total number of points in the unpartitioned sweep.
+    pub total: usize,
+    /// Artifact format of the shard.
+    pub format: ShardFormat,
+}
+
+impl ShardMeta {
+    /// The sidecar path for a shard artifact.
+    #[must_use]
+    pub fn path_for(artifact: &Path) -> PathBuf {
+        let mut name = artifact.as_os_str().to_os_string();
+        name.push(META_SUFFIX);
+        PathBuf::from(name)
+    }
+
+    /// A one-line human summary of the configuration the shard came from,
+    /// used in mismatch diagnostics.
+    #[must_use]
+    pub fn config_summary(&self) -> String {
+        format!(
+            "study={} mode={} fp={:016x} partition={} range={}..{} of {}",
+            self.study,
+            self.mode,
+            self.fingerprint,
+            self.partition,
+            self.range.start,
+            self.range.end,
+            self.total
+        )
+    }
+
+    /// Serialises the sidecar text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{META_HEADER}\nstudy={}\nmode={}\nfingerprint={:016x}\npartition={}\nrange={}..{}\ntotal={}\nformat={}\n",
+            self.study,
+            self.mode,
+            self.fingerprint,
+            self.partition,
+            self.range.start,
+            self.range.end,
+            self.total,
+            self.format.as_str()
+        )
+    }
+
+    /// Writes the sidecar next to `artifact`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_for(&self, artifact: &Path) -> io::Result<()> {
+        std::fs::write(Self::path_for(artifact), self.render())
+    }
+
+    /// Reads and parses the sidecar of `artifact`.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::Meta`] for a missing or malformed sidecar.
+    pub fn read_for(artifact: &Path) -> Result<Self, MergeError> {
+        let path = Self::path_for(artifact);
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            MergeError::Meta(format!(
+                "shard {} has no readable metadata sidecar {}: {e}",
+                artifact.display(),
+                path.display()
+            ))
+        })?;
+        Self::parse(&text)
+            .map_err(|why| MergeError::Meta(format!("bad sidecar {}: {why}", path.display())))
+    }
+
+    /// Parses sidecar text.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some(META_HEADER) {
+            return Err(format!("missing {META_HEADER:?} header"));
+        }
+        let mut study = None;
+        let mut mode = None;
+        let mut fingerprint = None;
+        let mut partition = None;
+        let mut range = None;
+        let mut total = None;
+        let mut format = None;
+        for line in lines {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key {
+                "study" => study = Some(value.to_string()),
+                "mode" => mode = Some(value.to_string()),
+                "fingerprint" => {
+                    fingerprint = Some(
+                        u64::from_str_radix(value, 16)
+                            .map_err(|_| format!("bad fingerprint {value:?}"))?,
+                    );
+                }
+                "partition" => partition = Some(Partition::parse(value)?),
+                "range" => {
+                    let (start, end) = value
+                        .split_once("..")
+                        .ok_or_else(|| format!("bad range {value:?}"))?;
+                    let start = start.parse().map_err(|_| format!("bad range {value:?}"))?;
+                    let end = end.parse().map_err(|_| format!("bad range {value:?}"))?;
+                    range = Some(start..end);
+                }
+                "total" => {
+                    total = Some(value.parse().map_err(|_| format!("bad total {value:?}"))?);
+                }
+                "format" => {
+                    format =
+                        Some(ShardFormat::parse(value).ok_or(format!("bad format {value:?}"))?);
+                }
+                _ => {}
+            }
+        }
+        Ok(Self {
+            study: study.ok_or("missing study")?,
+            mode: mode.ok_or("missing mode")?,
+            fingerprint: fingerprint.ok_or("missing fingerprint")?,
+            partition: partition.ok_or("missing partition")?,
+            range: range.ok_or("missing range")?,
+            total: total.ok_or("missing total")?,
+            format: format.ok_or("missing format")?,
+        })
+    }
+}
+
+/// Everything that can go wrong stitching shards back together. Variants
+/// carry enough context (expected *and* found values, originating config
+/// summaries) that the CLI can print an actionable message and exit 2 instead
+/// of panicking.
+#[derive(Debug)]
+pub enum MergeError {
+    /// Filesystem trouble.
+    Io(String),
+    /// A shard's metadata sidecar is missing or malformed.
+    Meta(String),
+    /// Two shards (or a shard and the expectation) disagree on the run
+    /// configuration.
+    FingerprintMismatch {
+        /// Fingerprint (and config) the merge expected.
+        expected: u64,
+        /// Summary of the configuration the expectation came from.
+        expected_config: String,
+        /// Fingerprint actually found.
+        found: u64,
+        /// Summary of the configuration the mismatching shard claims.
+        found_config: String,
+        /// The offending shard.
+        path: PathBuf,
+    },
+    /// Shards disagree on study, mode, partition count, or total points.
+    Incompatible(String),
+    /// The shard set has gaps (and `--allow-partial` was not requested).
+    Missing(Vec<Partition>),
+    /// A structural problem with one shard's contents.
+    Shard(String),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "merge I/O error: {msg}"),
+            Self::Meta(msg) => write!(f, "{msg}"),
+            Self::FingerprintMismatch {
+                expected,
+                expected_config,
+                found,
+                found_config,
+                path,
+            } => write!(
+                f,
+                "config fingerprint mismatch for {}: expected {expected:016x} ({expected_config}), found {found:016x} ({found_config})",
+                path.display()
+            ),
+            Self::Incompatible(msg) => write!(f, "incompatible shards: {msg}"),
+            Self::Missing(parts) => {
+                let list: Vec<String> = parts.iter().map(ToString::to_string).collect();
+                write!(
+                    f,
+                    "missing partition(s) {} — rerun them, or pass --allow-partial to emit a resumable journal",
+                    list.join(", ")
+                )
+            }
+            Self::Shard(msg) => write!(f, "bad shard: {msg}"),
+        }
+    }
+}
+
+/// The validated outcome of cross-checking a shard set's metadata.
+#[derive(Debug)]
+pub struct MergePlan {
+    /// Total points of the unpartitioned sweep.
+    pub total: usize,
+    /// Partition count all shards agree on.
+    pub count: u32,
+    /// Partitions absent from the shard set, in index order.
+    pub missing: Vec<Partition>,
+}
+
+/// Cross-checks shard metadata: every shard must agree on study, mode,
+/// serial fingerprint, partition count, and total; partition indices must be
+/// unique and their recorded ranges must be exactly what [`partition_range`]
+/// assigns them (so present ranges tile `0..total` with no gap or overlap
+/// once the missing partitions are accounted for).
+///
+/// # Errors
+///
+/// The first incompatibility found, with both sides' configuration summaries.
+pub fn plan_merge(shards: &[(PathBuf, ShardMeta)]) -> Result<MergePlan, MergeError> {
+    let Some((first_path, first)) = shards.first() else {
+        return Err(MergeError::Shard("no shards to merge".into()));
+    };
+    let mut seen = vec![false; first.partition.count as usize];
+    for (path, meta) in shards {
+        if meta.fingerprint != first.fingerprint {
+            return Err(MergeError::FingerprintMismatch {
+                expected: first.fingerprint,
+                expected_config: format!(
+                    "{} from {}",
+                    first.config_summary(),
+                    first_path.display()
+                ),
+                found: meta.fingerprint,
+                found_config: meta.config_summary(),
+                path: path.clone(),
+            });
+        }
+        if meta.study != first.study
+            || meta.mode != first.mode
+            || meta.partition.count != first.partition.count
+            || meta.total != first.total
+            || meta.format != first.format
+        {
+            return Err(MergeError::Incompatible(format!(
+                "{} ({}) vs {} ({})",
+                path.display(),
+                meta.config_summary(),
+                first_path.display(),
+                first.config_summary()
+            )));
+        }
+        let slot = (meta.partition.index - 1) as usize;
+        if seen[slot] {
+            return Err(MergeError::Incompatible(format!(
+                "duplicate partition {} ({})",
+                meta.partition,
+                path.display()
+            )));
+        }
+        seen[slot] = true;
+        let expected_range = partition_range(meta.total, meta.partition);
+        if meta.range != expected_range {
+            return Err(MergeError::Incompatible(format!(
+                "{} covers {}..{} but partition {} of {} points must cover {}..{}",
+                path.display(),
+                meta.range.start,
+                meta.range.end,
+                meta.partition,
+                meta.total,
+                expected_range.start,
+                expected_range.end
+            )));
+        }
+    }
+    let missing = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, present)| !**present)
+        .map(|(slot, _)| {
+            Partition::new(
+                u32::try_from(slot).expect("slot fits u32") + 1,
+                first.partition.count,
+            )
+            .expect("slot in range")
+        })
+        .collect();
+    Ok(MergePlan {
+        total: first.total,
+        count: first.partition.count,
+        missing,
+    })
+}
+
+/// Writes `content` to `out` atomically (temp sibling + rename), so a merge
+/// killed mid-write never leaves a truncated artifact under the final name.
+fn write_atomic(out: &Path, content: &[u8]) -> Result<(), MergeError> {
+    let mut tmp = out.as_os_str().to_os_string();
+    tmp.push(".merge-tmp");
+    let tmp = PathBuf::from(tmp);
+    let write = || -> io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(content)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, out)
+    };
+    write().map_err(|e| MergeError::Io(format!("writing {}: {e}", out.display())))
+}
+
+/// Stitches CSV shards (pre-sorted by partition index, as
+/// [`discover_shards`] returns them) into `out`: the shared header once,
+/// then every shard's data lines in partition order — byte-identical to the
+/// serial artifact because each shard's rows are already in global index
+/// order. Returns the merged row count.
+///
+/// Each shard must hold exactly one row per covered point (`range` length),
+/// the contract of row-streaming studies.
+///
+/// # Errors
+///
+/// Header disagreements, row-count mismatches, and I/O failures.
+pub fn merge_csv(shards: &[(PathBuf, ShardMeta)], out: &Path) -> Result<usize, MergeError> {
+    let mut merged = String::new();
+    let mut header: Option<String> = None;
+    let mut rows = 0usize;
+    for (path, meta) in shards {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MergeError::Io(format!("reading {}: {e}", path.display())))?;
+        let mut lines = text.split_inclusive('\n');
+        let shard_header = lines
+            .next()
+            .ok_or_else(|| MergeError::Shard(format!("{} is empty", path.display())))?;
+        match &header {
+            None => {
+                header = Some(shard_header.to_string());
+                merged.push_str(shard_header);
+            }
+            Some(expected) if expected != shard_header => {
+                return Err(MergeError::Incompatible(format!(
+                    "{} header {:?} differs from {:?}",
+                    path.display(),
+                    shard_header.trim_end(),
+                    expected.trim_end()
+                )));
+            }
+            Some(_) => {}
+        }
+        let mut shard_rows = 0usize;
+        for line in lines {
+            merged.push_str(line);
+            shard_rows += 1;
+        }
+        let want = meta.range.len();
+        if shard_rows != want {
+            return Err(MergeError::Shard(format!(
+                "{} holds {shard_rows} rows but covers {want} points ({})",
+                path.display(),
+                meta.config_summary()
+            )));
+        }
+        rows += shard_rows;
+    }
+    write_atomic(out, merged.as_bytes())?;
+    Ok(rows)
+}
+
+/// Stitches JSON array shards into `out`, byte-identical to the serial
+/// `RowSink::json` artifact: shard bodies (the rows between `[` and `]`) are
+/// concatenated with `,` between non-empty bodies. Returns the merged row
+/// count.
+///
+/// # Errors
+///
+/// Structurally invalid shards, row-count mismatches, and I/O failures.
+pub fn merge_json(shards: &[(PathBuf, ShardMeta)], out: &Path) -> Result<usize, MergeError> {
+    let mut bodies = Vec::new();
+    let mut rows = 0usize;
+    for (path, meta) in shards {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MergeError::Io(format!("reading {}: {e}", path.display())))?;
+        let body = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix("]\n").or_else(|| t.strip_suffix(']')))
+            .ok_or_else(|| {
+                MergeError::Shard(format!("{} is not a JSON array artifact", path.display()))
+            })?;
+        // A non-empty sink closes with "\n]"; strip that final newline so
+        // bodies join cleanly and the merged close re-adds exactly one.
+        let body = body.strip_suffix('\n').unwrap_or(body);
+        let shard_rows = body.matches("\n  {").count();
+        let want = meta.range.len();
+        if shard_rows != want {
+            return Err(MergeError::Shard(format!(
+                "{} holds {shard_rows} rows but covers {want} points ({})",
+                path.display(),
+                meta.config_summary()
+            )));
+        }
+        rows += shard_rows;
+        if !body.is_empty() {
+            bodies.push(body.to_string());
+        }
+    }
+    let mut merged = String::from("[");
+    merged.push_str(&bodies.join(","));
+    if rows > 0 {
+        merged.push('\n');
+    }
+    merged.push_str("]\n");
+    write_atomic(out, merged.as_bytes())?;
+    Ok(rows)
+}
+
+/// Stitches `sf-telemetry/v1` binary shards into `out`: one magic header,
+/// then every shard's block section in partition order — byte-identical to
+/// the serial stream because blocks are published in job enumeration order
+/// within each shard. The actual byte surgery lives in
+/// `sf_obs::telemetry::merge_streams`; this wrapper adds shard I/O and the
+/// metadata-validated ordering.
+///
+/// # Errors
+///
+/// Invalid streams and I/O failures.
+pub fn merge_telemetry(shards: &[(PathBuf, ShardMeta)], out: &Path) -> Result<(), MergeError> {
+    let mut parts = Vec::new();
+    for (path, _) in shards {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| MergeError::Io(format!("reading {}: {e}", path.display())))?;
+        parts.push(bytes);
+    }
+    let merged = sf_obs::telemetry::merge_streams(&parts)
+        .map_err(|why| MergeError::Shard(format!("telemetry merge: {why}")))?;
+    write_atomic(out, &merged)
+}
+
+/// Converts the present CSV shards of an incomplete set into a resumable
+/// checkpoint journal at `journal_path`, stamped with the **serial**
+/// fingerprint: every shard row becomes a journal entry keyed by
+/// `(sweep 0, global index)`, exactly what the unpartitioned run records. A
+/// subsequent plain `sfbench run` restores those rows and computes only the
+/// missing ranges. (Sweep sequence 0 is sound because partitioning is gated
+/// to single-sweep row-streaming studies.) Returns the journalled row count.
+///
+/// # Errors
+///
+/// Undecodable shard rows and I/O failures.
+pub fn partial_journal(
+    shards: &[(PathBuf, ShardMeta)],
+    journal_path: &Path,
+) -> Result<usize, MergeError> {
+    let Some((_, first)) = shards.first() else {
+        return Err(MergeError::Shard("no shards to journal".into()));
+    };
+    if first.format != ShardFormat::Csv {
+        return Err(MergeError::Shard(
+            "--allow-partial needs CSV shards (rows must round-trip into journal cells)".into(),
+        ));
+    }
+    let journal = Journal::open(journal_path, first.fingerprint)
+        .map_err(|e| MergeError::Io(format!("opening {}: {e}", journal_path.display())))?;
+    let mut rows = 0usize;
+    for (path, meta) in shards {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| MergeError::Io(format!("reading {}: {e}", path.display())))?;
+        for (offset, line) in text.lines().skip(1).enumerate() {
+            let cells = decode_csv_line(line).map_err(|e| {
+                MergeError::Shard(format!("{} row {offset}: {e:?}", path.display()))
+            })?;
+            let global = meta.range.start + offset;
+            journal
+                .record(0, global as u64, &cells)
+                .map_err(|e| MergeError::Io(format!("journalling: {e}")))?;
+            rows += 1;
+        }
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RowSink;
+    use crate::table::Value;
+    use proptest::prelude::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("sf-fabric-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).unwrap();
+        path
+    }
+
+    fn meta(p: Partition, total: usize, format: ShardFormat) -> ShardMeta {
+        ShardMeta {
+            study: "megasweep".into(),
+            mode: "quick".into(),
+            fingerprint: 0xdead_beef_cafe_f00d,
+            partition: p,
+            range: partition_range(total, p),
+            total,
+            format,
+        }
+    }
+
+    fn row(i: usize) -> Vec<Value> {
+        Vec::from([
+            Value::Str(format!("design-{}", i % 3)),
+            Value::UInt(i as u64),
+            Value::Float(i as f64 * 0.25 + 0.1),
+            Value::Bool(i.is_multiple_of(2)),
+        ])
+    }
+
+    const COLS: [&str; 4] = ["kind", "idx", "metric", "flag"];
+
+    /// Writes `base` serially and as `n` shards (with sidecars); returns the
+    /// serial artifact path and the shard list.
+    fn build_set(
+        dir: &Path,
+        n: u32,
+        total: usize,
+        json: bool,
+    ) -> (PathBuf, Vec<(PathBuf, ShardMeta)>) {
+        let serial = dir.join(if json { "serial.json" } else { "serial.csv" });
+        let open = |path: &Path| {
+            if json {
+                RowSink::json(path, &COLS).unwrap()
+            } else {
+                RowSink::csv(path, &COLS).unwrap()
+            }
+        };
+        let mut sink = open(&serial);
+        for i in 0..total {
+            sink.push(&row(i)).unwrap();
+        }
+        sink.finish().unwrap();
+        let base = dir.join(if json { "out.json" } else { "out.csv" });
+        let mut shards = Vec::new();
+        for index in 1..=n {
+            let p = Partition::new(index, n).unwrap();
+            let path = shard_path(&base, p);
+            let mut sink = open(&path);
+            for i in partition_range(total, p) {
+                sink.push(&row(i)).unwrap();
+            }
+            sink.finish().unwrap();
+            let m = meta(
+                p,
+                total,
+                if json {
+                    ShardFormat::Json
+                } else {
+                    ShardFormat::Csv
+                },
+            );
+            m.write_for(&path).unwrap();
+            shards.push((path, m));
+        }
+        (serial, shards)
+    }
+
+    #[test]
+    fn partition_parse_round_trips_and_rejects_nonsense() {
+        let p = Partition::parse("2/3").unwrap();
+        assert_eq!((p.index, p.count), (2, 3));
+        assert_eq!(p.to_string(), "2/3");
+        for bad in ["", "3", "0/3", "4/3", "a/3", "1/0", "1/b", "1/3/5"] {
+            assert!(Partition::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn shard_paths_round_trip_and_keep_sibling_names_apart() {
+        let p = Partition::new(2, 3).unwrap();
+        let path = shard_path(Path::new("out/rows.csv"), p);
+        assert_eq!(path, Path::new("out/rows.csv.p2of3"));
+        assert_eq!(parse_shard_suffix(&path), Some(p));
+        assert_eq!(parse_shard_suffix(Path::new("rows.csv")), None);
+        // Sibling artifacts `rows.a` / `rows.b` must not collide.
+        assert_ne!(
+            shard_path(Path::new("rows.a"), p),
+            shard_path(Path::new("rows.b"), p)
+        );
+    }
+
+    #[test]
+    fn meta_round_trips_exactly() {
+        let m = meta(Partition::new(2, 3).unwrap(), 24, ShardFormat::Csv);
+        assert_eq!(ShardMeta::parse(&m.render()).unwrap(), m);
+        assert!(ShardMeta::parse("not a sidecar").is_err());
+    }
+
+    #[test]
+    fn csv_merge_is_byte_identical_to_the_serial_sink() {
+        let dir = temp_dir("csv-merge");
+        for n in [1u32, 2, 3, 5, 8] {
+            let (serial, shards) = build_set(&dir, n, 17, false);
+            let plan = plan_merge(&shards).unwrap();
+            assert!(plan.missing.is_empty());
+            let out = dir.join(format!("merged-{n}.csv"));
+            let rows = merge_csv(&shards, &out).unwrap();
+            assert_eq!(rows, 17);
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                std::fs::read(&serial).unwrap(),
+                "n={n}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_merge_is_byte_identical_even_with_empty_shards() {
+        let dir = temp_dir("json-merge");
+        // total 2 < n 4 leaves some partitions empty.
+        for (n, total) in [(3u32, 17usize), (4, 2), (2, 0)] {
+            let (serial, shards) = build_set(&dir, n, total, true);
+            let out = dir.join(format!("merged-{n}-{total}.json"));
+            let rows = merge_json(&shards, &out).unwrap();
+            assert_eq!(rows, total);
+            assert_eq!(
+                std::fs::read(&out).unwrap(),
+                std::fs::read(&serial).unwrap(),
+                "n={n} total={total}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn discovery_finds_shards_and_ignores_sidecars() {
+        let dir = temp_dir("discover");
+        let (_, shards) = build_set(&dir, 3, 9, false);
+        let base = dir.join("out.csv");
+        let found = discover_shards(&base).unwrap();
+        assert_eq!(found.len(), 3);
+        for ((p, path), (want_path, want_meta)) in found.iter().zip(&shards) {
+            assert_eq!(p, &want_meta.partition);
+            assert_eq!(path, want_path);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_reports_both_sides() {
+        let dir = temp_dir("fp-mismatch");
+        let (_, mut shards) = build_set(&dir, 2, 8, false);
+        shards[1].1.fingerprint ^= 0xff;
+        let err = plan_merge(&shards).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            matches!(err, MergeError::FingerprintMismatch { .. }),
+            "{msg}"
+        );
+        assert!(msg.contains("deadbeefcafef00d"), "{msg}");
+        assert!(
+            msg.contains("deadbeefcafeff0d") || msg.contains("found"),
+            "{msg}"
+        );
+        assert!(msg.contains("study=megasweep"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_rejects_duplicates_bad_ranges_and_reports_missing() {
+        let dir = temp_dir("plan");
+        let (_, shards) = build_set(&dir, 3, 9, false);
+        // Duplicate partition index.
+        let mut dup = Vec::from([shards[0].clone(), shards[0].clone()]);
+        dup[1].1.partition = shards[0].1.partition;
+        assert!(matches!(
+            plan_merge(&dup).unwrap_err(),
+            MergeError::Incompatible(_)
+        ));
+        // A range that is not what the partitioner assigns.
+        let mut skewed = shards.clone();
+        skewed[1].1.range = 0..3;
+        assert!(matches!(
+            plan_merge(&skewed).unwrap_err(),
+            MergeError::Incompatible(_)
+        ));
+        // A missing partition shows up in the plan.
+        let partial = Vec::from([shards[0].clone(), shards[2].clone()]);
+        let plan = plan_merge(&partial).unwrap();
+        assert_eq!(plan.missing, [Partition::new(2, 3).unwrap()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_journal_restores_under_the_serial_fingerprint() {
+        let dir = temp_dir("partial");
+        let (_, shards) = build_set(&dir, 3, 9, false);
+        let partial = Vec::from([shards[0].clone(), shards[2].clone()]);
+        let journal_path = dir.join("out.csv.journal");
+        let rows = partial_journal(&partial, &journal_path).unwrap();
+        assert_eq!(
+            rows,
+            9 - partition_range(9, Partition::new(2, 3).unwrap()).len()
+        );
+        let journal = Journal::open(&journal_path, shards[0].1.fingerprint).unwrap();
+        assert_eq!(journal.restored_count(), rows);
+        // Spot-check a restored global index from the third partition.
+        let idx = partition_range(9, Partition::new(3, 3).unwrap()).start;
+        assert_eq!(
+            journal.restored(0, idx as u64).unwrap(),
+            row(idx).as_slice()
+        );
+        assert!(journal
+            .restored(
+                0,
+                partition_range(9, Partition::new(2, 3).unwrap()).start as u64
+            )
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The tentpole invariant: for any grid size and any N in 1..=8, the
+        /// partition ranges concatenate to exactly 0..len — no gap, no
+        /// overlap, balanced within one point.
+        #[test]
+        fn prop_partition_ranges_tile_exactly(len in 0usize..5000, n in 1u32..9) {
+            let mut next = 0usize;
+            let mut min_size = usize::MAX;
+            let mut max_size = 0usize;
+            for index in 1..=n {
+                let p = Partition::new(index, n).unwrap();
+                let range = partition_range(len, p);
+                prop_assert_eq!(range.start, next, "gap/overlap before partition {}", p);
+                prop_assert!(range.end >= range.start);
+                min_size = min_size.min(range.len());
+                max_size = max_size.max(range.len());
+                next = range.end;
+            }
+            prop_assert_eq!(next, len, "partitions must cover the whole grid");
+            prop_assert!(max_size - min_size <= 1, "balanced within one point");
+        }
+    }
+}

@@ -75,6 +75,19 @@ where
     hash
 }
 
+/// Reads the fingerprint stamped in the journal header at `path` without
+/// opening the journal for writing. `None` if the file is missing, empty, or
+/// does not start with a journal header — callers use this to report *which*
+/// configuration an incompatible journal belonged to before it is discarded.
+#[must_use]
+pub fn peek_fingerprint(path: &Path) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let header = text.split_inclusive('\n').next()?.strip_suffix('\n')?;
+    let stamp = header.strip_prefix(HEADER_PREFIX)?;
+    let stamp = stamp.strip_suffix(SNAPSHOT_SUFFIX).unwrap_or(stamp);
+    u64::from_str_radix(stamp, 16).ok()
+}
+
 /// The append handle plus the byte accounting auto-compaction needs; one
 /// mutex so appends and compaction rewrites serialise.
 #[derive(Debug)]

@@ -39,6 +39,11 @@
 //! * [`budget`] — the process-wide core budget shared between sweep-level
 //!   workers and the intra-job simulation shards of `sf-simcore`, so the two
 //!   parallelism layers never oversubscribe the machine together.
+//! * [`fabric`] — the distributed-sweep fabric: deterministic contiguous
+//!   partitioning of the point stream (`i/N` → a global index range),
+//!   fingerprint-guarded shard metadata, and merge routines that stitch
+//!   CSV/JSON/telemetry shards back into artifacts byte-identical to the
+//!   serial run.
 //!
 //! ## Example
 //!
@@ -61,6 +66,7 @@
 
 pub mod budget;
 pub mod cache;
+pub mod fabric;
 pub mod journal;
 pub mod pool;
 pub mod sink;

@@ -16,6 +16,7 @@
 //! notes but no heartbeat.
 
 use std::io::{self, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -24,6 +25,13 @@ use crate::rss;
 
 /// Environment variable overriding progress verbosity (`0` quiet, `1` live).
 pub const PROGRESS_ENV: &str = "SF_PROGRESS";
+
+/// Environment variable naming a machine-readable heartbeat file. When set,
+/// every sweep writes a one-line JSON snapshot of its progress there
+/// (atomically, via temp + rename) regardless of the stderr mode — this is
+/// how `sfbench dispatch` workers report progress to the coordinator while
+/// running `--quiet`.
+pub const HEARTBEAT_FILE_ENV: &str = "SF_HEARTBEAT_FILE";
 
 const MODE_NOTES: u8 = 0; // unconfigured: notes yes, heartbeat no
 const MODE_QUIET: u8 = 1;
@@ -76,6 +84,34 @@ struct SweepState {
     started: Option<Instant>,
     beat: HeartbeatLimiter,
     line_open: bool,
+    /// Destination of the machine-readable heartbeat, from
+    /// [`HEARTBEAT_FILE_ENV`] at sweep start; `None` disables the channel.
+    heartbeat_path: Option<PathBuf>,
+    /// Separate limiter for the heartbeat file, so quiet workers still beat.
+    file_beat: HeartbeatLimiter,
+}
+
+/// Renders the one-line JSON heartbeat snapshot (`sf-heartbeat/v1`).
+#[must_use]
+pub fn heartbeat_line(
+    label: &str,
+    done: usize,
+    total: usize,
+    rows: usize,
+    elapsed_ms: u128,
+    finished: bool,
+) -> String {
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            other => vec![other],
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"sf-heartbeat/v1\",\"label\":\"{escaped}\",\"done\":{done},\"total\":{total},\"rows\":{rows},\"elapsed_ms\":{elapsed_ms},\"finished\":{finished}}}\n"
+    )
 }
 
 /// Process-global progress reporter; obtain via [`Progress::global`].
@@ -166,16 +202,25 @@ impl Progress {
             total,
             started: Some(now),
             beat: HeartbeatLimiter::armed(now),
+            heartbeat_path: std::env::var_os(HEARTBEAT_FILE_ENV).map(PathBuf::from),
+            // Unarmed: the first in-sweep tick beats the file immediately,
+            // after the initial snapshot below.
+            file_beat: HeartbeatLimiter::armed(now),
             ..SweepState::default()
         };
+        Self::write_heartbeat(&state, Duration::ZERO, false);
     }
 
-    /// Records finished jobs and emitted rows, emitting a heartbeat when due.
+    /// Records finished jobs and emitted rows, emitting a stderr heartbeat
+    /// when due — and, with [`HEARTBEAT_FILE_ENV`] set, the machine-readable
+    /// heartbeat file *whatever the stderr mode* (dispatch workers run
+    /// `--quiet` yet must still report progress to their coordinator).
     pub fn tick(&self, jobs_done: usize, rows_done: usize) {
-        if self.mode() != MODE_LIVE {
+        let live = self.mode() == MODE_LIVE;
+        let mut state = self.state.lock().expect("progress state poisoned");
+        if !live && state.heartbeat_path.is_none() {
             return;
         }
-        let mut state = self.state.lock().expect("progress state poisoned");
         state.done += jobs_done;
         state.rows += rows_done;
         // A tick outside any sweep (start_sweep not called yet) has no
@@ -185,7 +230,10 @@ impl Progress {
             return;
         };
         let now = Instant::now();
-        if !state.beat.due(now) {
+        if state.file_beat.due(now) {
+            Self::write_heartbeat(&state, now.duration_since(started), false);
+        }
+        if !live || !state.beat.due(now) {
             return;
         }
         let secs = now.duration_since(started).as_secs_f64().max(1e-9);
@@ -205,11 +253,39 @@ impl Progress {
         state.line_open = true;
     }
 
-    /// Ends the current sweep, clearing any open heartbeat line.
+    /// Ends the current sweep, clearing any open heartbeat line and marking
+    /// the heartbeat file finished.
     pub fn finish_sweep(&self) {
         let mut state = self.state.lock().expect("progress state poisoned");
         Self::clear_line(&mut state);
+        let elapsed = state
+            .started
+            .map_or(Duration::ZERO, |started| started.elapsed());
+        Self::write_heartbeat(&state, elapsed, true);
         *state = SweepState::default();
+    }
+
+    /// Writes the heartbeat file atomically (temp sibling + rename), so the
+    /// coordinator never reads a torn snapshot. Failures are swallowed — the
+    /// heartbeat is advisory and must never fail a run.
+    fn write_heartbeat(state: &SweepState, elapsed: Duration, finished: bool) {
+        let Some(path) = &state.heartbeat_path else {
+            return;
+        };
+        let line = heartbeat_line(
+            &state.label,
+            state.done,
+            state.total,
+            state.rows,
+            elapsed.as_millis(),
+            finished,
+        );
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        if std::fs::write(&tmp, line).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
+        }
     }
 
     fn clear_line(state: &mut SweepState) {
@@ -260,6 +336,21 @@ mod tests {
         // 2 of 10 jobs in 4s -> 2s/job -> 16s for the remaining 8.
         assert_eq!(eta_seconds(2, 10, 4.0), Some(16.0));
         assert_eq!(eta_seconds(5, 10, 5.0), Some(5.0));
+    }
+
+    #[test]
+    fn heartbeat_line_is_one_json_object_with_escaped_label() {
+        let line = heartbeat_line("megasweep", 3, 24, 3, 1234, false);
+        assert_eq!(
+            line,
+            "{\"schema\":\"sf-heartbeat/v1\",\"label\":\"megasweep\",\"done\":3,\"total\":24,\"rows\":3,\"elapsed_ms\":1234,\"finished\":false}\n"
+        );
+        let hostile = heartbeat_line("we\"ird\\lab\nel", 0, 0, 0, 0, true);
+        assert!(hostile.contains("we\\\"ird\\\\lab\\nel"), "{hostile}");
+        assert!(
+            hostile.trim_end().ends_with("\"finished\":true}"),
+            "{hostile}"
+        );
     }
 
     #[test]

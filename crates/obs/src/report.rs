@@ -116,20 +116,32 @@ impl BenchReport {
     /// [`WALL_TOLERANCE`] (and more than an absolute jitter floor), or peak
     /// RSS above [`RSS_TOLERANCE`]. Probes present in only one snapshot are
     /// skipped — the trajectory may legitimately grow.
+    ///
+    /// Wall-clock comparisons are normalised for **machine drift**: snapshots
+    /// recorded in different sessions see different CPU weather (frequency
+    /// scaling, noisy container neighbours), which slows every probe by a
+    /// common factor and says nothing about the code. The baseline is scaled
+    /// by the median new/old ratio across common probes (only upward — a
+    /// uniformly faster machine must not hide a real regression), so a
+    /// genuine code regression still fires: it moves its own probes well past
+    /// the shared median.
     #[must_use]
     pub fn regressions_vs(&self, baseline: &BenchReport) -> Vec<String> {
+        let drift = self.drift_vs(baseline);
         let mut problems = Vec::new();
         for entry in &self.entries {
             let Some(base) = baseline.entries.iter().find(|b| b.name == entry.name) else {
                 continue;
             };
-            let limit = base.wall_ms * (1.0 + WALL_TOLERANCE);
-            if entry.wall_ms > limit && entry.wall_ms - base.wall_ms > WALL_FLOOR_MS {
+            let adjusted = base.wall_ms * drift;
+            let limit = adjusted * (1.0 + WALL_TOLERANCE);
+            if entry.wall_ms > limit && entry.wall_ms - adjusted > WALL_FLOOR_MS {
                 problems.push(format!(
-                    "{}: {:.3} ms vs baseline {:.3} ms (> +{:.0}%)",
+                    "{}: {:.3} ms vs baseline {:.3} ms (drift-adjusted {:.3} ms, > +{:.0}%)",
                     entry.name,
                     entry.wall_ms,
                     base.wall_ms,
+                    adjusted,
                     WALL_TOLERANCE * 100.0
                 ));
             }
@@ -146,6 +158,34 @@ impl BenchReport {
             }
         }
         problems
+    }
+
+    /// The machine-drift factor vs `baseline`: the median `new/old`
+    /// wall-clock ratio over probes present in both snapshots and above the
+    /// jitter floor, clamped to at least 1.0. With fewer than four common
+    /// probes a single regressing probe would drag the median itself, so
+    /// small populations get no adjustment (factor 1.0).
+    #[must_use]
+    pub fn drift_vs(&self, baseline: &BenchReport) -> f64 {
+        let mut ratios: Vec<f64> = self
+            .entries
+            .iter()
+            .filter_map(|entry| {
+                let base = baseline.entries.iter().find(|b| b.name == entry.name)?;
+                (base.wall_ms > WALL_FLOOR_MS).then(|| entry.wall_ms / base.wall_ms)
+            })
+            .collect();
+        if ratios.len() < 4 {
+            return 1.0;
+        }
+        ratios.sort_by(f64::total_cmp);
+        let mid = ratios.len() / 2;
+        let median = if ratios.len() % 2 == 1 {
+            ratios[mid]
+        } else {
+            (ratios[mid - 1] + ratios[mid]) / 2.0
+        };
+        median.max(1.0)
     }
 }
 
@@ -244,5 +284,65 @@ mod tests {
         assert!((BenchReport::median_ms(&odd) - 20.0).abs() < 1e-9);
         let even = [10, 20, 30, 40].map(Duration::from_millis);
         assert!((BenchReport::median_ms(&even) - 25.0).abs() < 1e-9);
+    }
+
+    fn wide(label: &str, scale: f64) -> BenchReport {
+        let probes = [
+            ("a", 100.0),
+            ("b", 200.0),
+            ("c", 400.0),
+            ("d", 800.0),
+            ("e", 1600.0),
+        ];
+        BenchReport {
+            label: label.to_string(),
+            peak_rss_kb: 50_000,
+            entries: probes
+                .iter()
+                .map(|(name, ms)| BenchEntry {
+                    name: (*name).to_string(),
+                    wall_ms: ms * scale,
+                    samples: 3,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn uniform_machine_drift_is_normalised_but_outliers_still_fire() {
+        let base = wide("BENCH_7", 1.0);
+        // Every probe uniformly 40% slower: machine drift, not a regression.
+        let slow_host = wide("BENCH_8", 1.4);
+        assert!((slow_host.drift_vs(&base) - 1.4).abs() < 1e-9);
+        assert!(slow_host.regressions_vs(&base).is_empty());
+        // One probe doubling while the rest drift 40% is a real regression
+        // and the message shows the drift-adjusted baseline.
+        let mut outlier = wide("BENCH_8", 1.4);
+        outlier.entries[2].wall_ms = 400.0 * 2.0;
+        let problems = outlier.regressions_vs(&base);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].starts_with("c: 800.000 ms"), "{}", problems[0]);
+        assert!(
+            problems[0].contains("drift-adjusted 560.000 ms"),
+            "{}",
+            problems[0]
+        );
+        // A uniformly *faster* machine never relaxes the gate: the factor is
+        // clamped at 1.0, so a regression on a fast host still fires.
+        let mut fast_host = wide("BENCH_8", 0.7);
+        assert_eq!(fast_host.drift_vs(&base), 1.0);
+        fast_host.entries[0].wall_ms = 100.0 * 1.5;
+        assert_eq!(fast_host.regressions_vs(&base).len(), 1);
+    }
+
+    #[test]
+    fn fewer_than_four_common_probes_get_no_drift_adjustment() {
+        let base = sample();
+        let mut fresh = sample();
+        for entry in &mut fresh.entries {
+            entry.wall_ms *= 1.4;
+        }
+        assert_eq!(fresh.drift_vs(&base), 1.0);
+        assert_eq!(fresh.regressions_vs(&base).len(), 2);
     }
 }

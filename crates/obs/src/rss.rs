@@ -43,10 +43,13 @@ mod tests {
         if !std::path::Path::new("/proc/self/status").exists() {
             return;
         }
-        let peak = peak_rss_kb().expect("VmHWM present on Linux");
+        // Read current *first*: each probe re-reads /proc/self/status, and
+        // memory allocated between the two snapshots could otherwise push the
+        // later-read VmRSS above the earlier-read VmHWM.
         let current = current_rss_kb().expect("VmRSS present on Linux");
+        let peak = peak_rss_kb().expect("VmHWM present on Linux");
         // A running Rust test binary occupies at least a few hundred kB and
-        // the peak can never be below the current level.
+        // the peak can never be below an earlier current level.
         assert!(current > 100, "current {current} kB");
         assert!(peak >= current, "peak {peak} < current {current}");
     }
