@@ -206,15 +206,36 @@ if [[ "${1:-}" != "--quick" ]]; then
     rm -f "$fault_serial_csv" "$fault_sharded_csv"
     echo "==> fault-scenario artifacts byte-identical"
 
+    # Sweep-as-a-service smoke: a background daemon must produce artifacts
+    # byte-identical to a direct run, then shut down cleanly over the
+    # protocol (removing its socket file).
+    echo "==> sfbench serve smoke (daemon submit vs direct run)"
+    serve_dir="$(mktemp -d)"
+    "$sfbench" serve --socket "$serve_dir/sock" --quiet &
+    serve_pid=$!
+    for _ in $(seq 1 500); do
+        [[ -S "$serve_dir/sock" ]] && break
+        sleep 0.01
+    done
+    "$sfbench" run fig05 --quick --quiet --no-resume --csv "$serve_dir/direct.csv" >/dev/null
+    "$sfbench" submit fig05 --quick --quiet --socket "$serve_dir/sock" \
+        --csv "$serve_dir/served.csv"
+    cmp "$serve_dir/direct.csv" "$serve_dir/served.csv"
+    "$sfbench" submit --shutdown --quiet --socket "$serve_dir/sock"
+    wait "$serve_pid"
+    [[ ! -e "$serve_dir/sock" ]]
+    rm -rf "$serve_dir"
+    echo "==> daemon-served artifact byte-identical to the direct run"
+
     # Perf trajectory: record this PR's in-process bench snapshot and gate
     # against the newest prior BENCH_*.json (wall-clock > +25% on a probe,
     # or peak RSS > +10%, fails the build). The first run only records.
-    echo "==> sfbench bench (perf snapshot BENCH_8.json)"
-    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_8\.json$' | sort -V | tail -1 || true)"
+    echo "==> sfbench bench (perf snapshot BENCH_9.json)"
+    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_9\.json$' | sort -V | tail -1 || true)"
     if [[ -n "${prev_bench:-}" ]]; then
-        "$sfbench" bench --label BENCH_8 --out BENCH_8.json --baseline "$prev_bench"
+        "$sfbench" bench --label BENCH_9 --out BENCH_9.json --baseline "$prev_bench"
     else
-        "$sfbench" bench --label BENCH_8 --out BENCH_8.json
+        "$sfbench" bench --label BENCH_9 --out BENCH_9.json
         echo "    no prior BENCH_*.json snapshot; recorded baseline only"
     fi
 fi

@@ -133,6 +133,94 @@ fn dispatch_overhead_runs(samples: u32) -> Option<(Vec<Duration>, Vec<Duration>)
     Some((direct, dispatched))
 }
 
+/// Kills the daemon subprocess when the probe leaves scope, so a failed
+/// sample can never leak a listening `sfbench serve` process.
+#[cfg(unix)]
+struct KillOnDrop(std::process::Child);
+
+#[cfg(unix)]
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// The sweep-as-a-service tax probe: wall-clock delta between `submit`ting a
+/// quick fig05 job to a running `sfbench serve` daemon and a direct `run` of
+/// the same study, both as subprocesses so process startup cancels out. What
+/// remains is the serve fabric — socket round-trip, admission through the
+/// core ledger, and the event stream. Returns the per-sample timings, or
+/// `None` if the daemon or a client failed (the probe is then skipped, not
+/// fatal).
+#[cfg(unix)]
+fn serve_roundtrip_runs(samples: u32) -> Option<(Vec<Duration>, Vec<Duration>)> {
+    let exe = std::env::current_exe().ok()?;
+    let dir = std::env::temp_dir().join(format!("sf-bench-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).ok()?;
+    let socket = dir.join("serve.sock");
+    let socket_str = socket.to_str()?.to_string();
+    let daemon = std::process::Command::new(&exe)
+        .args(["serve", "--socket", &socket_str, "--quiet"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .ok()?;
+    let _daemon = KillOnDrop(daemon);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !socket.exists() {
+        if Instant::now() > deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let run_one = |args: &[&str]| -> Option<Duration> {
+        let started = Instant::now();
+        let status = std::process::Command::new(&exe)
+            .args(args)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .status()
+            .ok()?;
+        status.success().then(|| started.elapsed())
+    };
+    let direct_csv = dir.join("direct.csv");
+    let served_csv = dir.join("served.csv");
+    let direct_args = [
+        "run",
+        "fig05",
+        "--quick",
+        "--quiet",
+        "--no-resume",
+        "--csv",
+        direct_csv.to_str()?,
+    ];
+    let submit_args = [
+        "submit",
+        "fig05",
+        "--quick",
+        "--quiet",
+        "--socket",
+        &socket_str,
+        "--csv",
+        served_csv.to_str()?,
+    ];
+    let mut direct = Vec::with_capacity(samples as usize);
+    let mut served = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        direct.push(run_one(&direct_args)?);
+        served.push(run_one(&submit_args)?);
+    }
+    // The daemon's artifact must match the direct run byte for byte — a
+    // perf probe that measured a different computation would be meaningless.
+    if std::fs::read(&direct_csv).ok()? != std::fs::read(&served_csv).ok()? {
+        return None;
+    }
+    let _ = run_one(&["submit", "--shutdown", "--quiet", "--socket", &socket_str]);
+    let _ = std::fs::remove_dir_all(&dir);
+    Some((direct, served))
+}
+
 /// Entry point for `sfbench bench`; returns the process exit code.
 #[must_use]
 pub fn run(args: &CliArgs) -> i32 {
@@ -222,6 +310,22 @@ pub fn run(args: &CliArgs) -> i32 {
             });
         }
         None => eprintln!("# warning: dispatch_overhead probe skipped (worker subprocess failed)"),
+    }
+    // Serve fabric tax: median(submit-to-daemon) - median(direct run),
+    // floored at zero — socket round-trip, ledger admission, event stream.
+    #[cfg(unix)]
+    match serve_roundtrip_runs(samples) {
+        Some((direct, served)) => {
+            let delta_ms =
+                (BenchReport::median_ms(&served) - BenchReport::median_ms(&direct)).max(0.0);
+            progress.note(&format!("# bench serve_roundtrip: {delta_ms:.3} ms delta"));
+            entries.push(BenchEntry {
+                name: "serve_roundtrip".to_string(),
+                wall_ms: delta_ms,
+                samples,
+            });
+        }
+        None => eprintln!("# warning: serve_roundtrip probe skipped (daemon or client failed)"),
     }
 
     let report = BenchReport {

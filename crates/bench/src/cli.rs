@@ -454,6 +454,8 @@ fn print_usage() {
          \x20 run <study> [options]    run a study\n\
          \x20 merge [options]          stitch --partition shards into the serial artifact\n\
          \x20 dispatch [options] run … spawn N partition workers, monitor, re-issue, merge\n\
+         \x20 serve [options]          long-running daemon accepting jobs on a Unix socket\n\
+         \x20 submit <study> [options] send a job to a running daemon, stream its events\n\
          \x20 bench [options]          in-process perf probes; emits a BENCH_<n>.json snapshot\n\
          \x20 report [options]         analyze run artifacts into a markdown report\n\
          \n\
@@ -487,6 +489,21 @@ fn print_usage() {
          \x20 --max-retries K          re-issues per partition before giving up (default 2)\n\
          \x20 --keep-shards            keep per-partition artifacts after the merge\n\
          \x20 --quiet                  suppress the aggregate progress line\n\
+         \n\
+         serve options:\n\
+         \x20 --socket PATH            Unix-domain socket to listen on (required)\n\
+         \x20 --cores N                cores the job ledger arbitrates (default: machine)\n\
+         \x20 --quiet                  suppress daemon lifecycle notes\n\
+         \n\
+         submit options:\n\
+         \x20 --socket PATH            daemon socket to connect to (required)\n\
+         \x20 --quick                  submit at reduced smoke scale\n\
+         \x20 --csv / --json PATH      artifact paths, written by the daemon\n\
+         \x20 --cores N                cap the job's core reservation\n\
+         \x20 --shards N               intra-simulation router shards (0 = auto)\n\
+         \x20 --batch                  batch priority (interactive submissions jump ahead)\n\
+         \x20 --ping / --shutdown      probe or stop the daemon instead of submitting\n\
+         \x20 --quiet                  print nothing but errors\n\
          \n\
          report options:\n\
          \x20 --telemetry PATH         congestion heatmap from a telemetry stream\n\
@@ -561,6 +578,8 @@ pub fn main(args: Vec<String>) -> i32 {
         }
         Some("merge") => crate::dispatch::merge_main(&CliArgs::new(args.collect())),
         Some("dispatch") => crate::dispatch::dispatch_main(args.collect()),
+        Some("serve") => crate::serve::serve_main(&CliArgs::new(args.collect())),
+        Some("submit") => crate::serve::submit_main(args.collect()),
         Some("bench") => crate::benchprobe::run(&CliArgs::new(args.collect())),
         Some("report") => crate::report::run(&CliArgs::new(args.collect())),
         None | Some("help" | "--help" | "-h") => {

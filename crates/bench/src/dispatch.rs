@@ -222,6 +222,13 @@ impl Launcher for LocalLauncher {
         let child = std::process::Command::new(exe)
             .args(&spec.args)
             .env(sf_obs::progress::HEARTBEAT_FILE_ENV, &spec.heartbeat_file)
+            // Orphan backstop: if this coordinator dies too hard to run its
+            // RAII teardown (kill -9, OOM), workers notice the reparenting
+            // on their next progress tick and exit instead of running on.
+            .env(
+                sf_obs::progress::WATCH_PARENT_ENV,
+                std::process::id().to_string(),
+            )
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null())
             .spawn()?;
@@ -239,7 +246,11 @@ pub struct DispatchOptions {
     pub max_retries: u32,
     /// Suppress the aggregate progress line.
     pub quiet: bool,
-    /// Coordinator poll cadence (tests shrink this).
+    /// Coordinator poll cadence (tests shrink this). Kept tight: each poll
+    /// is one `waitpid(WNOHANG)` plus a page-cached heartbeat read per
+    /// worker, and this quantum bounds how long a finished sweep waits to
+    /// be noticed — at 50 ms it dominated (and jittered) the latency of
+    /// small dispatches.
     pub poll_interval: Duration,
 }
 
@@ -249,8 +260,49 @@ impl Default for DispatchOptions {
             heartbeat_timeout: Duration::from_secs(60),
             max_retries: 2,
             quiet: false,
-            poll_interval: Duration::from_millis(50),
+            poll_interval: Duration::from_millis(5),
         }
+    }
+}
+
+/// RAII guard around a live worker handle: unless the worker is known to
+/// have exited ([`disarm`](Self::disarm)), dropping the guard kills it.
+/// Slots hold their handles through this type, so *every* way out of the
+/// supervision loop — clean return, an error propagated with `?`, or a
+/// panic unwinding through it — tears the remaining workers down instead of
+/// orphaning them.
+struct LiveHandle {
+    inner: Option<Box<dyn WorkerHandle>>,
+}
+
+impl LiveHandle {
+    fn new(inner: Box<dyn WorkerHandle>) -> Self {
+        Self { inner: Some(inner) }
+    }
+
+    fn poll(&mut self) -> io::Result<Option<i32>> {
+        match self.inner.as_mut() {
+            Some(handle) => handle.poll(),
+            None => Ok(None),
+        }
+    }
+
+    /// The worker exited on its own; dropping must not signal its pid
+    /// (which the OS may already have reused).
+    fn disarm(&mut self) {
+        self.inner = None;
+    }
+
+    fn kill_now(&mut self) {
+        if let Some(mut handle) = self.inner.take() {
+            handle.kill();
+        }
+    }
+}
+
+impl Drop for LiveHandle {
+    fn drop(&mut self) {
+        self.kill_now();
     }
 }
 
@@ -258,7 +310,7 @@ impl Default for DispatchOptions {
 /// any), and the supervision state that decides re-issue vs. give-up.
 struct Slot {
     spec: WorkerSpec,
-    handle: Option<Box<dyn WorkerHandle>>,
+    handle: Option<LiveHandle>,
     retries: u32,
     finished: bool,
     /// Last time the heartbeat file's contents changed (or the launch).
@@ -269,13 +321,15 @@ struct Slot {
 }
 
 /// Extracts an unsigned field from the one-line heartbeat JSON
-/// (`sf-heartbeat/v1`, written by `sf_obs::progress`). Hand-rolled for the
-/// known fixed shape — no JSON dependency.
+/// (`sf-heartbeat/v1`, written by `sf_obs::progress`). Delegates to the
+/// escape-aware tokeniser in [`crate::proto`]: a substring scan would let a
+/// label *value* containing JSON-looking text (`"done":99`) shadow the real
+/// field whenever the writer's escaping is imperfect — the parsing side of
+/// the `sf-heartbeat/v1` contract is that fields are recovered by
+/// tokenisation, never by `find("\"done\":")`. A malformed line yields
+/// `None` (no progress update) rather than a corrupt value.
 fn heartbeat_u64(text: &str, key: &str) -> Option<u64> {
-    let needle = format!("\"{key}\":");
-    let rest = &text[text.find(&needle)? + needle.len()..];
-    let end = rest.find([',', '}'])?;
-    rest[..end].trim().parse().ok()
+    crate::proto::field_u64(text.trim_end(), key)
 }
 
 /// Runs the supervision loop: launch every spec, poll exits and heartbeat
@@ -299,7 +353,7 @@ pub fn run_dispatch(
             .map_err(|e| format!("spawning worker for partition {}: {e}", spec.partition))?;
         slots.push(Slot {
             spec,
-            handle: Some(handle),
+            handle: Some(LiveHandle::new(handle)),
             retries: 0,
             finished: false,
             last_beat: Instant::now(),
@@ -340,18 +394,24 @@ pub fn run_dispatch(
             match exited {
                 Some(0) => {
                     slot.finished = true;
+                    if let Some(handle) = slot.handle.as_mut() {
+                        handle.disarm();
+                    }
                     slot.handle = None;
                     slot.done = slot.total.max(slot.done);
                     continue;
                 }
                 Some(code) => {
+                    if let Some(handle) = slot.handle.as_mut() {
+                        handle.disarm();
+                    }
                     slot.handle = None;
                     reissue(launcher, slot, opts, &format!("exit code {code}"))?;
                 }
                 None => {
                     if slot.handle.is_some() && slot.last_beat.elapsed() > opts.heartbeat_timeout {
                         if let Some(mut handle) = slot.handle.take() {
-                            handle.kill();
+                            handle.kill_now();
                         }
                         reissue(
                             launcher,
@@ -409,7 +469,7 @@ fn reissue(
     let handle = launcher
         .launch(&slot.spec)
         .map_err(|e| format!("re-spawning partition {}: {e}", slot.spec.partition))?;
-    slot.handle = Some(handle);
+    slot.handle = Some(LiveHandle::new(handle));
     slot.last_beat = Instant::now();
     Ok(())
 }
@@ -746,6 +806,143 @@ mod tests {
         };
         run_dispatch(&mut launcher, vec![spec(1, 1, &dir)], &opts).unwrap();
         assert_eq!(*launches.borrow(), vec![1, 1]);
+    }
+
+    #[test]
+    fn adversarial_label_text_cannot_corrupt_heartbeat_fields() {
+        // A non-escaping heartbeat writer (a shell-script launcher, say) can
+        // emit a label containing JSON-looking text verbatim. The old
+        // substring scan matched the label's embedded `"done":99` and
+        // reported 99/3 progress; the escape-aware tokeniser must never
+        // surface a value out of a label region — for this (malformed)
+        // document the right answer is "no update", not a corrupt one.
+        let raw = concat!(
+            "{\"schema\":\"sf-heartbeat/v1\",\"label\":\"x\"done\":99,\",",
+            "\"done\":3,\"total\":8,\"rows\":3,\"elapsed_ms\":10,\"finished\":false}\n"
+        );
+        assert_ne!(heartbeat_u64(raw, "done"), Some(99));
+        assert_eq!(heartbeat_u64(raw, "done"), None);
+        // Well-formed lines with hostile labels keep parsing exactly.
+        let line =
+            sf_obs::progress::heartbeat_line("x\"done\":99,{\"total\":7},\\", 3, 8, 3, 10, false);
+        assert_eq!(heartbeat_u64(&line, "done"), Some(3));
+        assert_eq!(heartbeat_u64(&line, "total"), Some(8));
+    }
+
+    /// Scripted launcher for the orphan tests: partition 1 hangs forever,
+    /// partition 2 misbehaves on poll (panic or error); every kill is
+    /// recorded so the tests can assert nothing survived the loop's demise.
+    struct Misbehave {
+        panics: bool,
+        killed: Rc<RefCell<Vec<u32>>>,
+    }
+
+    struct RecordedHandle {
+        id: u32,
+        panics: bool,
+        killed: Rc<RefCell<Vec<u32>>>,
+    }
+
+    impl WorkerHandle for RecordedHandle {
+        fn poll(&mut self) -> io::Result<Option<i32>> {
+            if self.id == 2 && self.panics {
+                panic!("scripted mid-loop panic");
+            }
+            if self.id == 2 {
+                return Err(io::Error::other("scripted poll failure"));
+            }
+            Ok(None)
+        }
+
+        fn kill(&mut self) {
+            self.killed.borrow_mut().push(self.id);
+        }
+    }
+
+    impl Launcher for Misbehave {
+        fn launch(&mut self, spec: &WorkerSpec) -> io::Result<Box<dyn WorkerHandle>> {
+            Ok(Box::new(RecordedHandle {
+                id: spec.partition.index,
+                panics: self.panics,
+                killed: Rc::clone(&self.killed),
+            }))
+        }
+    }
+
+    #[test]
+    fn no_live_handle_survives_a_mid_loop_panic() {
+        let dir = std::env::temp_dir().join("sf-dispatch-panic");
+        let _ = std::fs::create_dir_all(&dir);
+        let killed = Rc::new(RefCell::new(Vec::new()));
+        let mut launcher = Misbehave {
+            panics: true,
+            killed: Rc::clone(&killed),
+        };
+        let specs = (1..=2).map(|i| spec(i, 2, &dir)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run_dispatch(&mut launcher, specs, &fast_opts());
+        }));
+        assert!(result.is_err(), "the scripted panic must propagate");
+        let mut killed = killed.borrow().clone();
+        killed.sort_unstable();
+        // Both the hung worker and the panicking one were torn down by the
+        // unwinding slots — no orphan outlives the coordinator loop.
+        assert_eq!(killed, vec![1, 2]);
+    }
+
+    #[test]
+    fn no_live_handle_survives_a_supervision_error_return() {
+        let dir = std::env::temp_dir().join("sf-dispatch-pollerr");
+        let _ = std::fs::create_dir_all(&dir);
+        let killed = Rc::new(RefCell::new(Vec::new()));
+        let mut launcher = Misbehave {
+            panics: false,
+            killed: Rc::clone(&killed),
+        };
+        let specs = (1..=2).map(|i| spec(i, 2, &dir)).collect();
+        let err = run_dispatch(&mut launcher, specs, &fast_opts()).unwrap_err();
+        assert!(err.contains("polling partition 2/2"), "{err}");
+        let mut killed = killed.borrow().clone();
+        killed.sort_unstable();
+        assert_eq!(killed, vec![1, 2]);
+    }
+
+    #[test]
+    fn a_cleanly_exited_worker_is_not_signalled_on_drop() {
+        // A worker that exited on its own must be disarmed: killing its pid
+        // after the fact could signal a process the OS already reused it for.
+        struct CleanLauncher {
+            killed: Rc<RefCell<Vec<u32>>>,
+        }
+        struct CleanHandle {
+            id: u32,
+            killed: Rc<RefCell<Vec<u32>>>,
+        }
+        impl WorkerHandle for CleanHandle {
+            fn poll(&mut self) -> io::Result<Option<i32>> {
+                Ok(Some(0))
+            }
+            fn kill(&mut self) {
+                self.killed.borrow_mut().push(self.id);
+            }
+        }
+        impl Launcher for CleanLauncher {
+            fn launch(&mut self, spec: &WorkerSpec) -> io::Result<Box<dyn WorkerHandle>> {
+                Ok(Box::new(CleanHandle {
+                    id: spec.partition.index,
+                    killed: Rc::clone(&self.killed),
+                }))
+            }
+        }
+        let dir = std::env::temp_dir().join("sf-dispatch-disarm");
+        let _ = std::fs::create_dir_all(&dir);
+        let killed = Rc::new(RefCell::new(Vec::new()));
+        let mut launcher = CleanLauncher {
+            killed: Rc::clone(&killed),
+        };
+        let specs = (1..=2).map(|i| spec(i, 2, &dir)).collect();
+        run_dispatch(&mut launcher, specs, &fast_opts()).unwrap();
+        assert!(killed.borrow().is_empty(), "{:?}", killed.borrow());
     }
 
     #[test]

@@ -22,7 +22,9 @@
 pub mod benchprobe;
 pub mod cli;
 pub mod dispatch;
+pub mod proto;
 pub mod report;
+pub mod serve;
 
 pub use stringfigure::study::{fmt_f, fmt_percent, print_table};
 

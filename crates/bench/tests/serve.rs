@@ -1,0 +1,192 @@
+//! Integration tests for `sfbench serve`: artifacts written by the daemon
+//! must be byte-identical to a direct `sfbench run`, even with concurrent
+//! jobs sharing one core ledger and one warm topology cache — and the
+//! ledger must drain to zero when the jobs finish.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use sf_bench::cli::CliArgs;
+use sf_bench::proto;
+use sf_bench::serve::{Outcome, Server, SharedWriter};
+
+/// A cloneable capture buffer usable behind [`SharedWriter`].
+#[derive(Clone, Default)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Capture {
+    fn writer(&self) -> SharedWriter {
+        Arc::new(Mutex::new(Box::new(self.clone())))
+    }
+
+    fn events(&self) -> Vec<String> {
+        let bytes = self.0.lock().unwrap().clone();
+        String::from_utf8(bytes)
+            .unwrap()
+            .lines()
+            .filter_map(|l| proto::field_str(l, "event"))
+            .collect()
+    }
+}
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("sfbench-serve-{}-{name}", std::process::id()))
+}
+
+/// `sfbench run fig05 --quick --no-resume --csv <path>` through the real CLI.
+fn run_direct(path: &std::path::Path) {
+    let code = sf_bench::cli::main(vec![
+        "run".into(),
+        "fig05".into(),
+        "--quick".into(),
+        "--quiet".into(),
+        "--no-resume".into(),
+        "--csv".into(),
+        path.to_str().unwrap().into(),
+    ]);
+    assert_eq!(code, 0, "direct run failed");
+}
+
+fn submit_line(csv: &std::path::Path, cores: u64) -> String {
+    proto::Object::new()
+        .str("schema", sf_bench::serve::SCHEMA)
+        .str("op", "submit")
+        .str("study", "fig05")
+        .str("mode", "quick")
+        .u64("cores", cores)
+        .str("csv", csv.to_str().unwrap())
+        .finish()
+}
+
+/// The tentpole acceptance: the same study submitted twice concurrently to
+/// one server (sharing its ledger and warm cache) and run once directly
+/// yields three byte-identical CSVs, and the ledger drains to zero.
+#[test]
+fn concurrent_daemon_jobs_match_a_direct_run_byte_for_byte() {
+    let direct_csv = temp_path("direct.csv");
+    let a_csv = temp_path("a.csv");
+    let b_csv = temp_path("b.csv");
+    run_direct(&direct_csv);
+
+    // Two cores, each job reserving one: both jobs run at the same time.
+    let server = Arc::new(Server::new(2));
+    let (cap_a, cap_b) = (Capture::default(), Capture::default());
+    let threads: Vec<_> = [
+        (a_csv.clone(), cap_a.clone()),
+        (b_csv.clone(), cap_b.clone()),
+    ]
+    .into_iter()
+    .map(|(csv, cap)| {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            let out = cap.writer();
+            assert_eq!(
+                server.handle_line(&submit_line(&csv, 1), &out),
+                Outcome::Continue
+            );
+        })
+    })
+    .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let direct = std::fs::read(&direct_csv).unwrap();
+    assert!(!direct.is_empty());
+    assert_eq!(direct, std::fs::read(&a_csv).unwrap(), "job A diverged");
+    assert_eq!(direct, std::fs::read(&b_csv).unwrap(), "job B diverged");
+
+    for cap in [&cap_a, &cap_b] {
+        let events = cap.events();
+        assert_eq!(events.first().map(String::as_str), Some("queued"));
+        assert_eq!(events.get(1).map(String::as_str), Some("started"));
+        assert_eq!(events.last().map(String::as_str), Some("done"));
+        assert!(events.iter().any(|e| e == "row"), "no rows streamed");
+    }
+
+    assert_eq!(server.ledger().in_use(), 0, "ledger did not drain");
+    assert_eq!(server.ledger().active_jobs(), 0);
+    assert_eq!(server.ledger().waiting_jobs(), 0);
+
+    for p in [&direct_csv, &a_csv, &b_csv] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// The real socket layer: a daemon thread serving a Unix socket, a client
+/// submitting over a stream, then a clean protocol shutdown.
+#[cfg(unix)]
+#[test]
+fn socket_submit_roundtrip_and_protocol_shutdown() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let direct_csv = temp_path("sock-direct.csv");
+    let served_csv = temp_path("sock-served.csv");
+    let socket = temp_path("sock");
+    let _ = std::fs::remove_file(&socket);
+    run_direct(&direct_csv);
+
+    let socket_str = socket.to_str().unwrap().to_string();
+    let daemon = {
+        let socket_str = socket_str.clone();
+        std::thread::spawn(move || {
+            sf_bench::serve::serve_main(&CliArgs::new(vec![
+                "--socket".into(),
+                socket_str,
+                "--cores".into(),
+                "2".into(),
+                "--quiet".into(),
+            ]))
+        })
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !socket.exists() {
+        assert!(std::time::Instant::now() < deadline, "daemon never bound");
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let mut stream = UnixStream::connect(&socket).unwrap();
+    stream
+        .write_all(format!("{}\n", submit_line(&served_csv, 2)).as_bytes())
+        .unwrap();
+    let mut events = Vec::new();
+    for line in BufReader::new(stream.try_clone().unwrap()).lines() {
+        let line = line.unwrap();
+        let event = proto::field_str(&line, "event").unwrap();
+        let finished = event == "done" || event == "error";
+        events.push(event);
+        if finished {
+            break;
+        }
+    }
+    assert_eq!(events.last().map(String::as_str), Some("done"));
+    assert!(events.iter().any(|e| e == "row"));
+    assert_eq!(
+        std::fs::read(&direct_csv).unwrap(),
+        std::fs::read(&served_csv).unwrap(),
+        "socket-served artifact diverged from the direct run"
+    );
+
+    let mut control = UnixStream::connect(&socket).unwrap();
+    control
+        .write_all(format!("{}\n", proto::Object::new().str("op", "shutdown").finish()).as_bytes())
+        .unwrap();
+    assert_eq!(daemon.join().unwrap(), 0, "daemon exit code");
+    assert!(!socket.exists(), "socket file not removed on shutdown");
+
+    for p in [&direct_csv, &served_csv] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -298,6 +298,33 @@ impl CheckpointRow for crate::experiments::ConfigurationRow {
 /// generated [`NetworkInstance`].
 pub type TopologyCache = BuildCache<(TopologyKind, usize, u64), NetworkInstance>;
 
+/// An observer invoked with every row a [`RowStream`] writes, in delivery
+/// (enumeration) order — the seam the `sfbench serve` daemon uses to stream
+/// result rows to a submitting client while the artifact files are being
+/// written. Taps are passive: they cannot alter, reorder, or fail the rows,
+/// so artifacts are byte-identical with or without one.
+#[derive(Clone)]
+pub struct RowTap(RowObserver);
+
+type RowObserver = Arc<dyn Fn(&[Value]) + Send + Sync>;
+
+impl RowTap {
+    /// Wraps a row observer.
+    pub fn new(observer: impl Fn(&[Value]) + Send + Sync + 'static) -> Self {
+        Self(Arc::new(observer))
+    }
+
+    fn observe(&self, cells: &[Value]) {
+        (self.0)(cells);
+    }
+}
+
+impl std::fmt::Debug for RowTap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RowTap(..)")
+    }
+}
+
 /// Where a study's result table is written after the run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Emitter {
@@ -335,6 +362,7 @@ pub struct RunContext {
     telemetry: Option<PathBuf>,
     telemetry_every: Option<u64>,
     partition: Option<Partition>,
+    row_tap: Option<RowTap>,
     /// Total point count of the last partitioned sweep (the *unpartitioned*
     /// grid size), recorded by `run_jobs_streaming` so `execute` can stamp
     /// shard metadata without re-deriving the grid. `u64::MAX` = unset.
@@ -366,6 +394,7 @@ impl RunContext {
             telemetry: None,
             telemetry_every: None,
             partition: None,
+            row_tap: None,
             partition_total: AtomicU64::new(u64::MAX),
             journal: OnceLock::new(),
             sweep_seq: AtomicU64::new(0),
@@ -485,6 +514,15 @@ impl RunContext {
     #[must_use]
     pub fn partition(&self) -> Option<Partition> {
         self.partition
+    }
+
+    /// Installs a [`RowTap`] observing every row the context's
+    /// [`RowStream`]s deliver, in enumeration order. Purely additive:
+    /// artifact bytes are unchanged.
+    #[must_use]
+    pub fn with_row_tap(mut self, tap: RowTap) -> Self {
+        self.row_tap = Some(tap);
+        self
     }
 
     /// The telemetry stream path configured with
@@ -787,7 +825,10 @@ impl RunContext {
                 reason: format!("cannot open artifact {}: {e}", path.display()),
             })?);
         }
-        Ok(RowStream { sinks })
+        Ok(RowStream {
+            sinks,
+            tap: self.row_tap.clone(),
+        })
     }
 
     /// Writes `table` through every configured emitter — the post-hoc path
@@ -815,10 +856,12 @@ impl RunContext {
 #[derive(Debug)]
 pub struct RowStream {
     sinks: Vec<RowSink>,
+    tap: Option<RowTap>,
 }
 
 impl RowStream {
-    /// Appends one row to every open sink.
+    /// Appends one row to every open sink, then notifies the context's
+    /// [`RowTap`] (if one is installed).
     ///
     /// # Errors
     ///
@@ -833,6 +876,9 @@ impl RowStream {
                     reason: format!("cannot write artifact {}: {e}", sink.path().display()),
                 });
             }
+        }
+        if let Some(tap) = &self.tap {
+            tap.observe(cells);
         }
         Ok(())
     }
@@ -2267,6 +2313,43 @@ mod tests {
             });
             assert_eq!(report.outcomes.len(), grid.jobs());
         }
+    }
+
+    #[test]
+    fn row_taps_observe_rows_in_order_without_changing_artifacts() {
+        let dir = std::env::temp_dir();
+        let tapped = dir.join(format!("sf-study-tap-{}.csv", std::process::id()));
+        let plain = dir.join(format!("sf-study-plain-{}.csv", std::process::id()));
+        let rows: Vec<Vec<Value>> = (0..3u64)
+            .map(|i| vec![Value::UInt(i), Value::Float(i as f64 * 0.5 + 0.1)])
+            .collect();
+        let seen = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let observer = Arc::clone(&seen);
+        let ctx = RunContext::new()
+            .with_csv(&tapped)
+            .with_row_tap(RowTap::new(move |cells| {
+                observer.lock().unwrap().push(cells.to_vec());
+            }));
+        let mut stream = ctx.open_row_stream(&["idx", "metric"]).unwrap();
+        for row in &rows {
+            stream.push(row).unwrap();
+        }
+        stream.finish().unwrap();
+        let plain_ctx = RunContext::new().with_csv(&plain);
+        let mut stream = plain_ctx.open_row_stream(&["idx", "metric"]).unwrap();
+        for row in &rows {
+            stream.push(row).unwrap();
+        }
+        stream.finish().unwrap();
+        // The tap saw every row in push order, and the artifact bytes are
+        // identical to an untapped run's.
+        assert_eq!(*seen.lock().unwrap(), rows);
+        assert_eq!(
+            std::fs::read(&tapped).unwrap(),
+            std::fs::read(&plain).unwrap()
+        );
+        let _ = std::fs::remove_file(&tapped);
+        let _ = std::fs::remove_file(&plain);
     }
 
     #[test]

@@ -112,14 +112,28 @@ pub fn shard_path(base: &Path, p: Partition) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// Parses the `<i>of<N>` coordinate part of a shard suffix, digits-only.
+/// `u32`'s own parser accepts a leading `+`, so routing the fields straight
+/// through `.parse()` would let a sibling named `rows.csv.p+1of2` — which
+/// [`shard_path`] can never produce — masquerade as a shard. Both fields
+/// must be non-empty ASCII digits.
+fn parse_coords(coords: &str) -> Option<Partition> {
+    let (index, count) = coords.split_once("of")?;
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    if !digits(index) || !digits(count) {
+        return None;
+    }
+    Partition::new(index.parse().ok()?, count.parse().ok()?).ok()
+}
+
 /// Recovers the partition coordinate from a shard file name produced by
-/// [`shard_path`], or `None` for a non-shard path.
+/// [`shard_path`], or `None` for a non-shard path — including look-alikes
+/// such as `rows.csv.p+1of2` that `shard_path` cannot emit.
 #[must_use]
 pub fn parse_shard_suffix(path: &Path) -> Option<Partition> {
     let name = path.file_name()?.to_str()?;
     let (_, suffix) = name.rsplit_once(".p")?;
-    let (index, count) = suffix.split_once("of")?;
-    Partition::new(index.parse().ok()?, count.parse().ok()?).ok()
+    parse_coords(suffix)
 }
 
 /// Finds every shard of `base` (`<base>.p<i>of<N>` files) in its directory,
@@ -149,18 +163,15 @@ pub fn discover_shards(base: &Path) -> Result<Vec<(Partition, PathBuf)>, MergeEr
         let Some(suffix) = name.strip_prefix(base_name) else {
             continue;
         };
-        // Only the shard artifacts themselves — not their .meta/.journal
-        // siblings, which also start with the shard name.
+        // Only the shard artifacts themselves — never the base artifact
+        // (empty suffix), its .meta/.journal siblings, or any other
+        // non-shard neighbour whose name merely starts with the base name.
+        // The coordinate parse is shared with `parse_shard_suffix`, so the
+        // same digits-only rule rejects look-alikes like `.p+1of2` here too.
         let Some(coords) = suffix.strip_prefix(".p") else {
             continue;
         };
-        let Some((index, count)) = coords.split_once("of") else {
-            continue;
-        };
-        let (Ok(index), Ok(count)) = (index.parse(), count.parse()) else {
-            continue;
-        };
-        let Ok(p) = Partition::new(index, count) else {
+        let Some(p) = parse_coords(coords) else {
             continue;
         };
         shards.push((p, entry.path()));
@@ -814,6 +825,61 @@ mod tests {
     }
 
     #[test]
+    fn shard_suffix_rejects_names_shard_path_cannot_produce() {
+        // u32's parser accepts a leading '+', so these used to parse as
+        // shards of `rows.csv` and could be swept into a merge.
+        for bad in [
+            "rows.csv.p+1of2",
+            "rows.csv.p1of+2",
+            "rows.csv.pof2",
+            "rows.csv.p1of",
+            "rows.csv.p1of2x",
+            "rows.csv.p1of2.meta",
+            "rows.csv.p1of2.journal",
+        ] {
+            assert_eq!(parse_shard_suffix(Path::new(bad)), None, "{bad}");
+        }
+        // A base whose own name ends in `.p<i>of<N>` still round-trips: the
+        // *last* `.p` suffix is the shard coordinate.
+        let p = Partition::new(2, 3).unwrap();
+        let nested = shard_path(Path::new("out.p1of2.csv"), p);
+        assert_eq!(nested, Path::new("out.p1of2.csv.p2of3"));
+        assert_eq!(parse_shard_suffix(&nested), Some(p));
+    }
+
+    #[test]
+    fn discovery_skips_lookalike_siblings_and_handles_shardlike_base_names() {
+        let dir = temp_dir("discover-lookalike");
+        // The base artifact itself is named like a shard (`out.p1of2.csv`,
+        // say because a user kept a partial artifact around); its own shards
+        // must be discovered by the full base name, not by the embedded
+        // coordinate.
+        let base = dir.join("out.p1of2.csv");
+        std::fs::write(&base, "kind\n").unwrap();
+        for index in 1..=2u32 {
+            let p = Partition::new(index, 2).unwrap();
+            std::fs::write(shard_path(&base, p), "kind\n").unwrap();
+        }
+        // Hostile/look-alike siblings that must all be ignored.
+        for junk in [
+            "out.p1of2.csv.p+1of2",
+            "out.p1of2.csv.p1of+2",
+            "out.p1of2.csv.p1of2.meta",
+            "out.p1of2.csv.p1of2.journal",
+            "out.p1of2.csv.partial",
+        ] {
+            std::fs::write(dir.join(junk), "junk").unwrap();
+        }
+        let found = discover_shards(&base).unwrap();
+        let coords: Vec<Partition> = found.iter().map(|(p, _)| *p).collect();
+        assert_eq!(
+            coords,
+            [Partition::new(1, 2).unwrap(), Partition::new(2, 2).unwrap()]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn meta_round_trips_exactly() {
         let m = meta(Partition::new(2, 3).unwrap(), 24, ShardFormat::Csv);
         assert_eq!(ShardMeta::parse(&m.render()).unwrap(), m);
@@ -836,6 +902,39 @@ mod tests {
                 "n={n}"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_merge_accepts_empty_partitions_when_n_exceeds_len() {
+        // 3 points over 5 partitions: partitions 4 and 5 cover empty ranges.
+        // Their shards must still be valid artifacts (header-only CSV plus a
+        // sidecar recording the empty range) and the merge must accept them
+        // and reproduce the serial bytes.
+        let dir = temp_dir("csv-empty");
+        let (serial, shards) = build_set(&dir, 5, 3, false);
+        for (path, m) in &shards[3..] {
+            assert!(m.range.is_empty(), "{}", m.config_summary());
+            let text = std::fs::read_to_string(path).unwrap();
+            assert_eq!(text, "kind,idx,metric,flag\n", "{}", path.display());
+            assert_eq!(ShardMeta::read_for(path).unwrap(), *m);
+        }
+        let plan = plan_merge(&shards).unwrap();
+        assert!(plan.missing.is_empty());
+        let out = dir.join("merged.csv");
+        assert_eq!(merge_csv(&shards, &out).unwrap(), 3);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&serial).unwrap()
+        );
+        // Zero-point sweep: every partition is empty, merge is header-only.
+        let (serial0, shards0) = build_set(&dir, 2, 0, false);
+        let out0 = dir.join("merged-0.csv");
+        assert_eq!(merge_csv(&shards0, &out0).unwrap(), 0);
+        assert_eq!(
+            std::fs::read(&out0).unwrap(),
+            std::fs::read(&serial0).unwrap()
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -17,7 +17,7 @@
 
 use std::io::{self, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -32,6 +32,20 @@ pub const PROGRESS_ENV: &str = "SF_PROGRESS";
 /// how `sfbench dispatch` workers report progress to the coordinator while
 /// running `--quiet`.
 pub const HEARTBEAT_FILE_ENV: &str = "SF_HEARTBEAT_FILE";
+
+/// Environment variable naming the pid of the supervising process (the
+/// `sfbench dispatch` coordinator sets it to its own pid when spawning
+/// workers). When set, every progress tick checks whether this process has
+/// been **reparented** — the supervisor died hard (`kill -9`, OOM) and could
+/// not tear its workers down — and exits with [`ORPHAN_EXIT_CODE`] instead
+/// of running on as an orphan. Graceful supervisor exits (panic, error
+/// return, Ctrl-C) kill workers directly via their RAII handles; this check
+/// is the backstop for the exits no userspace cleanup survives.
+pub const WATCH_PARENT_ENV: &str = "SF_WATCH_PARENT";
+
+/// Exit code of a worker that found itself orphaned (see
+/// [`WATCH_PARENT_ENV`]).
+pub const ORPHAN_EXIT_CODE: i32 = 3;
 
 const MODE_NOTES: u8 = 0; // unconfigured: notes yes, heartbeat no
 const MODE_QUIET: u8 = 1;
@@ -215,7 +229,13 @@ impl Progress {
     /// when due — and, with [`HEARTBEAT_FILE_ENV`] set, the machine-readable
     /// heartbeat file *whatever the stderr mode* (dispatch workers run
     /// `--quiet` yet must still report progress to their coordinator).
+    ///
+    /// With [`WATCH_PARENT_ENV`] set, every tick also verifies the
+    /// supervising process is still this process's parent, exiting with
+    /// [`ORPHAN_EXIT_CODE`] otherwise — the orphaned-worker backstop for a
+    /// coordinator killed too hard to clean up after itself.
     pub fn tick(&self, jobs_done: usize, rows_done: usize) {
+        exit_if_orphaned();
         let live = self.mode() == MODE_LIVE;
         let mut state = self.state.lock().expect("progress state poisoned");
         if !live && state.heartbeat_path.is_none() {
@@ -297,6 +317,111 @@ impl Progress {
     }
 }
 
+/// Whether this process has been reparented away from `watched` — i.e. the
+/// supervising process named by [`WATCH_PARENT_ENV`] is gone and the kernel
+/// handed us to init (or the nearest subreaper). Always `false` on
+/// non-Unix targets.
+#[must_use]
+pub fn orphaned(watched: u32) -> bool {
+    #[cfg(unix)]
+    {
+        std::os::unix::process::parent_id() != watched
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = watched;
+        false
+    }
+}
+
+/// The pid parsed from [`WATCH_PARENT_ENV`], read once per process.
+fn watched_parent() -> Option<u32> {
+    static WATCHED: OnceLock<Option<u32>> = OnceLock::new();
+    *WATCHED.get_or_init(|| {
+        std::env::var(WATCH_PARENT_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// Exits with [`ORPHAN_EXIT_CODE`] when the supervisor named by
+/// [`WATCH_PARENT_ENV`] is no longer this process's parent. A no-op when
+/// the variable is unset (the overwhelmingly common case: one atomic load
+/// after the first call).
+fn exit_if_orphaned() {
+    if let Some(watched) = watched_parent() {
+        if orphaned(watched) {
+            std::process::exit(ORPHAN_EXIT_CODE);
+        }
+    }
+}
+
+/// One job's progress scope on a multi-tenant host (the `sfbench serve`
+/// daemon): tracks done/row counts for a single job independently of the
+/// process-global reporter, so any number of concurrent jobs can report
+/// without interleaving each other's state. Renders the same
+/// `sf-heartbeat/v1` lines the global heartbeat file uses, for streaming to
+/// the job's own client.
+#[derive(Debug)]
+pub struct JobScope {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    rows: AtomicUsize,
+    started: Instant,
+}
+
+impl JobScope {
+    /// Opens a scope for a job expected to deliver `total` rows.
+    #[must_use]
+    pub fn new(label: impl Into<String>, total: usize) -> Self {
+        Self {
+            label: label.into(),
+            total,
+            done: AtomicUsize::new(0),
+            rows: AtomicUsize::new(0),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records finished jobs and emitted rows (callable from any thread).
+    pub fn tick(&self, jobs_done: usize, rows_done: usize) {
+        self.done.fetch_add(jobs_done, Ordering::Relaxed);
+        self.rows.fetch_add(rows_done, Ordering::Relaxed);
+    }
+
+    /// Jobs recorded done so far.
+    #[must_use]
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Rows recorded so far.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Expected total rows.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The scope's current state as one `sf-heartbeat/v1` line.
+    #[must_use]
+    pub fn heartbeat(&self, finished: bool) -> String {
+        heartbeat_line(
+            &self.label,
+            self.done(),
+            self.total,
+            self.rows(),
+            self.started.elapsed().as_millis(),
+            finished,
+        )
+    }
+}
+
 fn format_eta(seconds: f64) -> String {
     if !seconds.is_finite() {
         return "--".to_string();
@@ -369,6 +494,34 @@ mod tests {
         // on the sweep having started before consulting the limiter.
         let mut fresh = HeartbeatLimiter::default();
         assert!(fresh.due(t0));
+    }
+
+    #[test]
+    fn orphan_detection_compares_against_the_actual_parent() {
+        #[cfg(unix)]
+        {
+            let real_parent = std::os::unix::process::parent_id();
+            assert!(!orphaned(real_parent));
+            // Pid 0 is never a process's parent — a watched supervisor that
+            // is gone looks exactly like this.
+            assert!(orphaned(0));
+        }
+    }
+
+    #[test]
+    fn job_scopes_track_independent_jobs_without_shared_state() {
+        let a = JobScope::new("job-a", 10);
+        let b = JobScope::new("job-b", 4);
+        a.tick(2, 2);
+        b.tick(1, 1);
+        a.tick(1, 1);
+        assert_eq!((a.done(), a.rows(), a.total()), (3, 3, 10));
+        assert_eq!((b.done(), b.rows(), b.total()), (1, 1, 4));
+        let beat = a.heartbeat(false);
+        assert!(beat.contains("\"label\":\"job-a\""), "{beat}");
+        assert!(beat.contains("\"done\":3"), "{beat}");
+        assert!(beat.contains("\"total\":10"), "{beat}");
+        assert!(b.heartbeat(true).contains("\"finished\":true"));
     }
 
     // Mode state is process-global; exercise the transitions in one test.
