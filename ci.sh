@@ -47,6 +47,9 @@ if [[ "${1:-}" != "--quick" ]]; then
         --telemetry "$sharded_csv.telemetry.bin" --telemetry-every 32 \
         --trace "$sharded_csv.trace.jsonl" --metrics "$sharded_csv.metrics.json" >/dev/null
     cmp "$serial_csv" "$sharded_csv"
+    # The pooled kernel must still hit the committed golden bytes — not just
+    # agree with itself across worker/shard layouts.
+    cmp "$serial_csv" crates/bench/tests/golden/fig10_saturation.quick.csv
     cmp "$serial_csv.telemetry.bin" "$sharded_csv.telemetry.bin"
     head -c 15 "$sharded_csv.telemetry.bin" | grep -q 'sf-telemetry/v1'
     test -s "$sharded_csv.trace.jsonl"
@@ -230,12 +233,12 @@ if [[ "${1:-}" != "--quick" ]]; then
     # Perf trajectory: record this PR's in-process bench snapshot and gate
     # against the newest prior BENCH_*.json (wall-clock > +25% on a probe,
     # or peak RSS > +10%, fails the build). The first run only records.
-    echo "==> sfbench bench (perf snapshot BENCH_9.json)"
-    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_9\.json$' | sort -V | tail -1 || true)"
+    echo "==> sfbench bench (perf snapshot BENCH_10.json)"
+    prev_bench="$(ls -1 BENCH_*.json 2>/dev/null | grep -v '^BENCH_10\.json$' | sort -V | tail -1 || true)"
     if [[ -n "${prev_bench:-}" ]]; then
-        "$sfbench" bench --label BENCH_9 --out BENCH_9.json --baseline "$prev_bench"
+        "$sfbench" bench --label BENCH_10 --out BENCH_10.json --baseline "$prev_bench"
     else
-        "$sfbench" bench --label BENCH_9 --out BENCH_9.json
+        "$sfbench" bench --label BENCH_10 --out BENCH_10.json
         echo "    no prior BENCH_*.json snapshot; recorded baseline only"
     fi
 fi

@@ -828,6 +828,8 @@ mod tests {
                 name: probe.to_string(),
                 wall_ms: 12.0,
                 samples: 3,
+                rate_per_s: None,
+                gated: true,
             }],
         };
         let table = render_trajectory(&[

@@ -32,6 +32,16 @@ pub struct BenchEntry {
     pub wall_ms: f64,
     /// Number of timed samples the median was taken over.
     pub samples: u32,
+    /// Optional throughput (units per second, e.g. simulated cycles/s for
+    /// the `kernel_cps/*` probes). Informational: recorded in the snapshot
+    /// but never gated — the wall-clock comparison already covers it.
+    pub rate_per_s: Option<f64>,
+    /// Whether this probe participates in regression gating and drift
+    /// estimation. Delta probes (the difference of two multi-second
+    /// subprocess walls, e.g. `dispatch_overhead`) set this to `false`:
+    /// their variance on a contended host exceeds the tolerance band by
+    /// construction, so they are recorded for trajectory visibility only.
+    pub gated: bool,
 }
 
 /// A full perf snapshot for one PR.
@@ -62,6 +72,20 @@ impl BenchReport {
         }
     }
 
+    /// Minimum of raw samples as milliseconds (empty → 0). The estimator of
+    /// choice for *delta* probes: wall-clock noise is strictly additive
+    /// (scheduling, cache pollution), so the minimum is the sample closest
+    /// to the true cost, and subtracting two minima doesn't compound two
+    /// medians' worth of jitter.
+    #[must_use]
+    pub fn min_ms(samples: &[Duration]) -> f64 {
+        samples
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0)
+    }
+
     /// Serialises the report; stable key order, one entry per line.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -73,8 +97,17 @@ impl BenchReport {
         out.push_str("  \"entries\": [\n");
         for (i, entry) in self.entries.iter().enumerate() {
             let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let rate = entry
+                .rate_per_s
+                .map(|r| format!(", \"rate_per_s\": {r:.1}"))
+                .unwrap_or_default();
+            let gated = if entry.gated {
+                ""
+            } else {
+                ", \"gated\": false"
+            };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"samples\": {}}}{comma}\n",
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"samples\": {}{rate}{gated}}}{comma}\n",
                 entry.name, entry.wall_ms, entry.samples
             ));
         }
@@ -102,6 +135,8 @@ impl BenchReport {
                 name: extract_str(line, "name")?.to_string(),
                 wall_ms: extract_num(line, "wall_ms")?,
                 samples: extract_num(line, "samples")?.round() as u32,
+                rate_per_s: extract_num(line, "rate_per_s"),
+                gated: !line.contains("\"gated\": false"),
             });
         }
         Some(Self {
@@ -115,7 +150,18 @@ impl BenchReport {
     /// human-readable line per regression: a probe slower by more than
     /// [`WALL_TOLERANCE`] (and more than an absolute jitter floor), or peak
     /// RSS above [`RSS_TOLERANCE`]. Probes present in only one snapshot are
-    /// skipped — the trajectory may legitimately grow.
+    /// skipped — the trajectory may legitimately grow. A probe whose
+    /// *baseline* sat below the jitter floor is also skipped: a near-zero
+    /// recording means the probe was lost in measurement noise when the
+    /// baseline was taken, so any ratio against it is meaningless. Probes
+    /// marked ungated on either side (see [`BenchEntry::gated`]) are
+    /// recorded but never compared.
+    ///
+    /// Peak RSS is gated only when the baseline ran every probe this
+    /// snapshot ran: RSS is process-global, so a snapshot that added probes
+    /// (bigger in-process workloads) has a legitimately higher high-water
+    /// mark. The comparison re-arms on the next snapshot pair with equal
+    /// probe sets.
     ///
     /// Wall-clock comparisons are normalised for **machine drift**: snapshots
     /// recorded in different sessions see different CPU weather (frequency
@@ -133,6 +179,9 @@ impl BenchReport {
             let Some(base) = baseline.entries.iter().find(|b| b.name == entry.name) else {
                 continue;
             };
+            if base.wall_ms <= WALL_FLOOR_MS || !entry.gated || !base.gated {
+                continue;
+            }
             let adjusted = base.wall_ms * drift;
             let limit = adjusted * (1.0 + WALL_TOLERANCE);
             if entry.wall_ms > limit && entry.wall_ms - adjusted > WALL_FLOOR_MS {
@@ -146,7 +195,11 @@ impl BenchReport {
                 ));
             }
         }
-        if baseline.peak_rss_kb > 0 {
+        let probe_set_grew = self
+            .entries
+            .iter()
+            .any(|entry| !baseline.entries.iter().any(|b| b.name == entry.name));
+        if baseline.peak_rss_kb > 0 && !probe_set_grew {
             let limit = baseline.peak_rss_kb as f64 * (1.0 + RSS_TOLERANCE);
             if self.peak_rss_kb as f64 > limit {
                 problems.push(format!(
@@ -161,8 +214,8 @@ impl BenchReport {
     }
 
     /// The machine-drift factor vs `baseline`: the median `new/old`
-    /// wall-clock ratio over probes present in both snapshots and above the
-    /// jitter floor, clamped to at least 1.0. With fewer than four common
+    /// wall-clock ratio over gated probes present in both snapshots and
+    /// above the jitter floor, clamped to at least 1.0. With fewer than four common
     /// probes a single regressing probe would drag the median itself, so
     /// small populations get no adjustment (factor 1.0).
     #[must_use]
@@ -172,7 +225,8 @@ impl BenchReport {
             .iter()
             .filter_map(|entry| {
                 let base = baseline.entries.iter().find(|b| b.name == entry.name)?;
-                (base.wall_ms > WALL_FLOOR_MS).then(|| entry.wall_ms / base.wall_ms)
+                (base.wall_ms > WALL_FLOOR_MS && entry.gated && base.gated)
+                    .then(|| entry.wall_ms / base.wall_ms)
             })
             .collect();
         if ratios.len() < 4 {
@@ -219,11 +273,15 @@ mod tests {
                     name: "shard_sync/1".to_string(),
                     wall_ms: 12.5,
                     samples: 3,
+                    rate_per_s: None,
+                    gated: true,
                 },
                 BenchEntry {
                     name: "fig10_quick".to_string(),
                     wall_ms: 850.0,
                     samples: 1,
+                    rate_per_s: Some(87_654.3),
+                    gated: true,
                 },
             ],
         }
@@ -257,6 +315,8 @@ mod tests {
                 name: "x".into(),
                 wall_ms: 0.4,
                 samples: 3,
+                rate_per_s: None,
+                gated: true,
             }],
             ..sample()
         };
@@ -273,8 +333,74 @@ mod tests {
             name: "new_probe".into(),
             wall_ms: 5.0,
             samples: 3,
+            rate_per_s: None,
+            gated: true,
         });
         assert!(grown.regressions_vs(&base).is_empty());
+    }
+
+    #[test]
+    fn sub_floor_baselines_are_ungateable() {
+        // A probe recorded at ~0 ms (e.g. a delta probe whose overhead was
+        // lost in noise) gives a meaningless ratio: any later nonzero
+        // reading would look like an infinite regression. Skip it.
+        let mut base = sample();
+        base.entries.push(BenchEntry {
+            name: "delta_probe".into(),
+            wall_ms: 0.0,
+            samples: 3,
+            rate_per_s: None,
+            gated: true,
+        });
+        let mut fresh = base.clone();
+        fresh.entries[2].wall_ms = 21.7;
+        assert!(fresh.regressions_vs(&base).is_empty());
+    }
+
+    #[test]
+    fn ungated_probes_round_trip_and_never_fire() {
+        let mut base = sample();
+        base.entries.push(BenchEntry {
+            name: "dispatch_overhead".into(),
+            wall_ms: 12.0,
+            samples: 3,
+            rate_per_s: None,
+            gated: false,
+        });
+        // The flag survives serialisation (and old files without it parse
+        // as gated).
+        assert_eq!(BenchReport::parse(&base.to_json()), Some(base.clone()));
+        // A 4x blow-up on the ungated probe is recorded, not flagged.
+        let mut fresh = base.clone();
+        fresh.entries.last_mut().unwrap().wall_ms = 48.0;
+        assert!(fresh.regressions_vs(&base).is_empty());
+        // Ungated on the *baseline* side alone also disarms: the fresh side
+        // may re-gate a probe only once a gated baseline exists.
+        let mut regated = fresh.clone();
+        regated.entries.last_mut().unwrap().gated = true;
+        assert!(regated.regressions_vs(&base).is_empty());
+    }
+
+    #[test]
+    fn rss_gate_disarms_when_the_probe_set_grows() {
+        // Peak RSS is process-global: a snapshot that ran extra (bigger)
+        // probes has a legitimately higher high-water mark, so the
+        // comparison only holds between equal probe sets.
+        let base = sample();
+        let mut grown = sample();
+        grown.entries.push(BenchEntry {
+            name: "kernel_cps/2048".into(),
+            wall_ms: 650.0,
+            samples: 3,
+            rate_per_s: Some(670.0),
+            gated: true,
+        });
+        grown.peak_rss_kb = 40_000_000;
+        assert!(grown.regressions_vs(&base).is_empty());
+        // With identical probe sets the gate still fires.
+        let mut fat = sample();
+        fat.peak_rss_kb = 40_000_000;
+        assert_eq!(fat.regressions_vs(&base).len(), 1);
     }
 
     #[test]
@@ -284,6 +410,13 @@ mod tests {
         assert!((BenchReport::median_ms(&odd) - 20.0).abs() < 1e-9);
         let even = [10, 20, 30, 40].map(Duration::from_millis);
         assert!((BenchReport::median_ms(&even) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_picks_the_quietest_sample() {
+        assert_eq!(BenchReport::min_ms(&[]), 0.0);
+        let runs = [30, 10, 20].map(Duration::from_millis);
+        assert!((BenchReport::min_ms(&runs) - 10.0).abs() < 1e-9);
     }
 
     fn wide(label: &str, scale: f64) -> BenchReport {
@@ -303,6 +436,8 @@ mod tests {
                     name: (*name).to_string(),
                     wall_ms: ms * scale,
                     samples: 3,
+                    rate_per_s: None,
+                    gated: true,
                 })
                 .collect(),
         }

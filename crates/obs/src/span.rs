@@ -85,12 +85,19 @@ struct TraceWriter {
     path: Option<PathBuf>,
 }
 
+/// Reserved trace lane for synthetic events flushed by
+/// [`Tracer::add_duration_event`] — far above any real thread id, so the
+/// report's per-thread span nesting never mixes them with live spans.
+const SYNTHETIC_LANE: u64 = u64::MAX;
+
 /// The process-global span collector.
 pub struct Tracer {
     epoch: OnceLock<Instant>,
     aggregates: Mutex<BTreeMap<&'static str, SpanAgg>>,
     writer: Mutex<TraceWriter>,
     next_thread_id: AtomicU64,
+    /// Monotonic cursor laying out synthetic events on [`SYNTHETIC_LANE`].
+    synthetic_us: AtomicU64,
 }
 
 static GLOBAL: OnceLock<Tracer> = OnceLock::new();
@@ -108,6 +115,7 @@ impl Tracer {
             aggregates: Mutex::new(BTreeMap::new()),
             writer: Mutex::new(TraceWriter::default()),
             next_thread_id: AtomicU64::new(0),
+            synthetic_us: AtomicU64::new(0),
         })
     }
 
@@ -172,6 +180,32 @@ impl Tracer {
         agg.max = agg.max.max(total);
     }
 
+    /// Like [`Tracer::add_duration`], but also emits one synthetic trace
+    /// event when a trace sink is attached — so locally-aggregated phase
+    /// totals (the kernel's per-cycle route/commit timers) show up in
+    /// `sfbench report`'s span tree, not just the summary table.
+    ///
+    /// Synthetic events are placed on a reserved thread lane behind a
+    /// monotonic cursor: each event occupies its own disjoint interval, so
+    /// the report's containment-based nesting renders every flushed total as
+    /// an independent root span (their intervals are bookkeeping, not
+    /// wall-clock placement).
+    pub fn add_duration_event(&self, name: &'static str, total: Duration, count: u64) {
+        if total.is_zero() && count == 0 {
+            return;
+        }
+        self.add_duration(name, total, count);
+        let mut writer = self.writer.lock().expect("trace writer poisoned");
+        if let Some(w) = writer.writer.as_mut() {
+            let dur_us = total.as_micros().max(1) as u64;
+            let start_us = self.synthetic_us.fetch_add(dur_us + 1, Ordering::Relaxed);
+            let line = format!(
+                "{{\"name\":\"{name}\",\"thread\":{SYNTHETIC_LANE},\"start_us\":{start_us},\"dur_us\":{dur_us}}}\n",
+            );
+            let _ = w.write_all(line.as_bytes());
+        }
+    }
+
     fn record(&self, name: &'static str, started: Instant) {
         let dur = started.elapsed();
         {
@@ -216,6 +250,8 @@ impl Tracer {
         let mut writer = self.writer.lock().expect("trace writer poisoned");
         writer.writer = None;
         writer.path = None;
+        drop(writer);
+        self.synthetic_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -272,10 +308,23 @@ mod tests {
         {
             let _c = tracer.span("traced_phase");
         }
+        tracer.add_duration_event("flushed_phase", Duration::from_millis(2), 100);
         let finished = tracer.finish_trace().unwrap();
         assert_eq!(finished.as_deref(), Some(path.as_path()));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("\"name\":\"traced_phase\""), "{text}");
+        // Synthetic events land on the reserved lane and in the aggregates.
+        assert!(
+            text.contains(&format!(
+                "\"name\":\"flushed_phase\",\"thread\":{}",
+                u64::MAX
+            )),
+            "{text}"
+        );
+        assert!(tracer
+            .summary()
+            .iter()
+            .any(|s| s.name == "flushed_phase" && s.agg.count == 100));
         assert!(text
             .trim_end()
             .lines()

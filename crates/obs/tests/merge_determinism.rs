@@ -44,6 +44,25 @@ fn deterministic_metrics_are_bit_identical_across_worker_shard_matrix() {
                 "simulation metrics missing from snapshot"
             );
             assert!(snapshot.get("pool.jobs_completed").is_some());
+            // The kernel's slab-pool gauges are part of the deterministic
+            // namespace: peaks and push totals are pure functions of the
+            // simulated workload, never of the worker × shard layout.
+            for name in [
+                "sim.pool.packets_peak",
+                "sim.pool.in_flight_peak",
+                "sim.pool.commit_entries_peak",
+                "sim.pool.packet_pushes",
+                "sim.pool.in_flight_pushes",
+                "sim.pool.commit_pushes",
+            ] {
+                let nonzero = match snapshot.get(name) {
+                    Some(metrics::MetricValue::Counter(v) | metrics::MetricValue::Gauge(v)) => {
+                        *v > 0
+                    }
+                    _ => false,
+                };
+                assert!(nonzero, "{name} missing or zero in deterministic snapshot");
+            }
             assert!(snapshot
                 .iter()
                 .all(|(name, _)| metrics::is_deterministic_name(name)));

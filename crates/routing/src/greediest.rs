@@ -147,6 +147,11 @@ impl GreediestRouting {
                 HopCount::Two => two_hop.push((cand.via, cand.node, cand.coordinates)),
             }
         }
+        // Presorted by node id: `next_hop` streams the improving set in this
+        // order instead of collecting and sorting per decision, which keeps
+        // the hot path allocation-free while preserving the exact
+        // first-minimum tie-break of the old sort + min_by pipeline.
+        one_hop.sort_by_key(|(node, _)| *node);
         NodeCandidates { one_hop, two_hop }
     }
 
@@ -279,22 +284,7 @@ impl RoutingProtocol for GreediestRouting {
             return Ok(dest);
         }
 
-        // The improving set W: one-hop neighbours strictly closer to the
-        // destination (in MD) than the current node.
-        let mut improving: Vec<(NodeId, f64)> = cands
-            .one_hop
-            .iter()
-            .filter(|(node, _)| self.active[node.index()])
-            .map(|(node, coords)| (*node, minimum_circular_distance(coords, dest_coords)))
-            .filter(|(_, md)| *md < current_md)
-            .collect();
-
-        if improving.is_empty() {
-            self.fallback_routes.fetch_add(1, Ordering::Relaxed);
-            return self.bfs_next_hop(at, dest);
-        }
-
-        // Score each improving neighbour by the best MD reachable through it
+        // Score an improving neighbour by the best MD reachable through it
         // within one more hop (two-hop lookahead), if enabled.
         let score = |w: NodeId, own_md: f64| -> f64 {
             if !self.options.use_two_hop {
@@ -316,30 +306,45 @@ impl RoutingProtocol for GreediestRouting {
             best
         };
 
-        improving.sort_by_key(|a| a.0);
-        let scored: Vec<(NodeId, f64, f64)> = improving
-            .iter()
-            .map(|&(w, md)| (w, md, score(w, md)))
-            .collect();
-
-        let best_overall = scored
-            .iter()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite scores"))
-            .expect("improving set is non-empty");
-
-        if self.options.adaptive && ctx.first_hop {
-            // Prefer the best-scored neighbour whose output queue is below the
-            // adaptive threshold; if every improving port is congested, fall
-            // back to the overall best (the paper's behaviour).
-            let under_threshold = scored
-                .iter()
-                .filter(|(w, _, _)| loads.load(at, *w) < ctx.adaptive_threshold)
-                .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite scores"));
-            if let Some(choice) = under_threshold {
-                return Ok(choice.0);
+        // Stream the improving set W (one-hop neighbours strictly closer to
+        // the destination in MD) straight out of the presorted candidate
+        // list: no per-decision collect or sort. Strict `<` keeps the first
+        // minimum in node-id order, matching the old sort + `min_by`
+        // tie-break exactly.
+        let adaptive = self.options.adaptive && ctx.first_hop;
+        let mut best_overall: Option<(NodeId, f64)> = None;
+        // Best-scored neighbour whose output queue is below the adaptive
+        // threshold; if every improving port is congested, the overall best
+        // wins (the paper's behaviour).
+        let mut best_under: Option<(NodeId, f64)> = None;
+        for (node, coords) in &cands.one_hop {
+            if !self.active[node.index()] {
+                continue;
+            }
+            let md = minimum_circular_distance(coords, dest_coords);
+            if md >= current_md {
+                continue;
+            }
+            let scored = score(*node, md);
+            if best_overall.is_none_or(|(_, best)| scored < best) {
+                best_overall = Some((*node, scored));
+            }
+            if adaptive
+                && loads.load(at, *node) < ctx.adaptive_threshold
+                && best_under.is_none_or(|(_, best)| scored < best)
+            {
+                best_under = Some((*node, scored));
             }
         }
-        Ok(best_overall.0)
+
+        let Some((overall, _)) = best_overall else {
+            self.fallback_routes.fetch_add(1, Ordering::Relaxed);
+            return self.bfs_next_hop(at, dest);
+        };
+        if let Some((under, _)) = best_under {
+            return Ok(under);
+        }
+        Ok(overall)
     }
 
     fn virtual_channel(&self, at: NodeId, _next: NodeId, dest: NodeId) -> VirtualChannelId {

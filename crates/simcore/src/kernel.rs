@@ -20,22 +20,50 @@
 //!    epoch for cross-shard smaller-id neighbours — so every router observes
 //!    *exactly* the serial state, no matter how many shards exist or how they
 //!    are scheduled.
-//! 2. **Deferred side effects**: everything order-sensitive that is not
-//!    router-local — float accumulation into statistics, packet-id assignment
-//!    for replies, the in-flight list, DRAM service, the reply heap — is
-//!    logged as per-router events during the parallel phase and replayed by a
-//!    serial commit in router-id order, reproducing the serial loop's exact
-//!    operation order (float addition is not associative; replay order is the
-//!    only way to keep energies bit-identical).
-//! 3. **Serial boundary phases**: traffic injection, reply release, and link
-//!    arrivals stay on the coordinating thread in router-id order, because
-//!    traffic models own a single RNG whose consumption order is part of the
-//!    observable behaviour.
+//! 2. **Minimal commit log**: the only side effects that genuinely need the
+//!    serial order — float energy accumulation (addition is not associative)
+//!    and reply packet-id assignment plus the reply heap push — are logged as
+//!    compact per-router [`CommitEntry`] records during the parallel phase
+//!    and replayed by a serial commit in router-id order, reproducing the
+//!    serial loop's exact operation order. Everything else (integer
+//!    counters, the in-flight hand-off) is commutative or order-free and
+//!    never passes through the commit.
+//! 3. **Shard-local arrival queues**: a packet committed to a link goes
+//!    straight into the *destination shard's* inbox
+//!    ([`crate::pool::InFlightPool`]), and each shard drains its own due
+//!    arrivals at the start of its routing phase. Cross-shard push order
+//!    into an inbox is nondeterministic, but each (router, port, vc) input
+//!    queue receives **at most one packet per cycle** — one forward per
+//!    output link per cycle, constant per-link latency — so the drain order
+//!    across *distinct* queues is unobservable and per-queue FIFO content is
+//!    bit-identical for every K. (The defensive credit return for a packet
+//!    arriving at a freshly faulted resource also happens during the drain;
+//!    it is unobservable mid-phase because dead resources short-circuit both
+//!    the credit check and the adaptive load view without reading the
+//!    counter.)
+//! 4. **Serial boundary phases**: traffic injection and reply release stay
+//!    on the coordinating thread in router-id order, because traffic models
+//!    own a single RNG whose consumption order is part of the observable
+//!    behaviour.
 //!
 //! Link traversal takes at least one cycle (router latency + SerDes), so
 //! queues only couple routers *across* cycle boundaries; the wavefront only
 //! has to order same-cycle credit traffic, which is what keeps the waits
 //! short and the parallelism real.
+//!
+//! # Allocation-free steady state
+//!
+//! All per-cycle storage — router input queues, injection queues, the commit
+//! log, and the arrival inboxes — lives in index-linked free-list slabs (see
+//! [`crate::pool`]): pushing recycles a freed slot instead of touching the
+//! heap, so once the simulation reaches its occupancy high-water mark, a
+//! cycle performs **zero heap allocations** (pinned by a counting-allocator
+//! integration test on the single-shard path). Pool occupancy is exported
+//! through the deterministic `sim.pool.*` metrics namespace: peak live
+//! packets / in-flight entries / commit entries (network-wide boundary
+//! totals) and total push counts are bit-identical for any worker × shard
+//! matrix, while layout details that legitimately depend on K (slab
+//! capacities, grow counts) live under `sched.pool_*`.
 //!
 //! # Fault injection
 //!
@@ -57,6 +85,7 @@
 
 use crate::memory::MemoryNodeModel;
 use crate::packet::{Packet, PacketKind, TrafficModel, TrafficRequest};
+use crate::pool::{InFlightMeta, InFlightPool, List, Pool};
 use crate::shard::{resolve_shard_count, ShardPlan};
 use crate::stats::SimulationStats;
 use sf_routing::{PortLoadEstimator, RoutingContext, RoutingProtocol};
@@ -64,21 +93,11 @@ use sf_topology::{AdjacencyGraph, GridPlacement};
 use sf_types::{
     FaultPlan, NodeId, SfError, SfResult, SimulationConfig, SystemConfig, VirtualChannelId,
 };
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex, MutexGuard};
 use std::time::Duration;
-
-/// A packet currently traversing a link.
-#[derive(Debug, Clone)]
-struct InFlight {
-    arrival_cycle: u64,
-    to_node: usize,
-    from_index: usize,
-    vc: usize,
-    packet: Packet,
-}
 
 /// A reply waiting for its DRAM service to finish.
 #[derive(Debug, Clone)]
@@ -109,32 +128,36 @@ impl Ord for PendingReply {
 /// An order-sensitive side effect recorded by a router during the parallel
 /// routing phase and replayed by the serial commit in router-id order.
 ///
-/// Only effects that genuinely need the serial order live here: float
-/// accumulation (not associative), reply packet-id assignment, and the
-/// in-flight hand-off. Commutative integer counters (delivered packets,
+/// This is the *minimal* residue that genuinely needs the serial order:
+/// float accumulation (not associative) and reply packet-id assignment.
+/// Forwarded packets themselves go straight to the destination shard's
+/// arrival inbox during the routing phase (the hand-off is order-free, see
+/// the module docs), and commutative integer counters (delivered packets,
 /// latency sums, blocked forwards, …) are folded shard-locally into
-/// [`LocalStats`] instead and summed once at the end of the run, which keeps
-/// the per-cycle commit traffic to the packets that actually moved.
-#[derive(Debug)]
-enum RouterEvent {
-    /// A packet committed to a link: becomes an in-flight entry plus (when
-    /// measuring) a network-energy contribution.
-    Forward {
-        arrival_cycle: u64,
-        to_node: usize,
-        from_index: usize,
-        vc: usize,
-        packet: Packet,
-    },
+/// [`LocalStats`] and summed once at the end of the run — so the commit
+/// walks a few copyable words per moved packet instead of whole packets.
+#[derive(Debug, Clone, Copy)]
+enum CommitEntry {
+    /// A packet entered a link while measuring: one network-energy
+    /// contribution of `size_bits` (replayed in id order because float
+    /// addition is not associative).
+    LinkEnergy { size_bits: u64 },
     /// A read/write request was serviced by this node's DRAM model during
     /// the routing phase (the model is router-local, so the access itself
     /// needs no serialisation); the commit accumulates the float DRAM energy
-    /// and assigns the reply its packet id in serial order.
+    /// and assigns the reply its packet id in serial order. The fields are
+    /// the request's routing residue — everything the reply needs.
     Serviced {
         /// DRAM service latency in cycles, from the router-local model.
         service: u64,
-        /// The serviced request, source of the reply's routing fields.
-        request: Packet,
+        /// The serviced request's source (the reply's destination).
+        source: NodeId,
+        /// The serviced request's destination (the reply's source).
+        destination: NodeId,
+        /// The request kind, determining the reply kind.
+        kind: PacketKind,
+        /// Issue cycle of the original request, for round-trip latency.
+        request_issued_at: u64,
     },
 }
 
@@ -152,21 +175,43 @@ struct LocalStats {
     total_hops: u64,
     completed_requests: u64,
     total_round_trip_cycles: u64,
+    /// Packets dropped at this router's inputs by the arrival drain when the
+    /// receiving resource was faulted (a plain count — commutative).
+    dropped_packets: u64,
 }
 
-/// The mutable state of one router, owned by exactly one shard.
+/// The mutable state of one router, owned by exactly one shard. All queue
+/// storage chains through the owning shard's [`ShardPools`].
 #[derive(Debug)]
 struct RouterState {
     node: usize,
-    /// Input queues: `queues[neighbor_idx][vc]`.
-    queues: Vec<Vec<VecDeque<Packet>>>,
+    /// Input queues, flattened as `queues[neighbor_idx * vcs + vc]`.
+    queues: Vec<List>,
     /// Unbounded injection queue (the processor-side request queue).
-    injection: VecDeque<Packet>,
+    injection: List,
+    /// Cached in-network input-queue occupancy (sum of `queues` lengths),
+    /// maintained on push/pop so telemetry sampling is O(1) per router.
+    queued_net: u32,
     memory: MemoryNodeModel,
-    /// This cycle's deferred side effects, drained by the commit.
-    events: Vec<RouterEvent>,
+    /// This cycle's commit log, drained by the serial commit.
+    commit: List,
+    /// Reusable per-cycle output-port scoreboard (cleared, never freed).
+    used_outputs: Vec<bool>,
     /// Commutative integer counters, folded locally and summed at run end.
     local: LocalStats,
+}
+
+/// One shard's slab pools: every router queue and commit log of the shard
+/// chains through these, so steady-state cycles allocate nothing.
+#[derive(Debug)]
+struct ShardPools {
+    /// Every queued packet in this shard (input queues + injection queues).
+    packets: Pool<Packet>,
+    /// This cycle's commit-log entries across the shard's routers.
+    commits: Pool<CommitEntry>,
+    /// Cached count of packets sitting in injection queues; the rest of
+    /// `packets.live()` is in-network. Makes the census O(shards).
+    backlog: u32,
 }
 
 /// One shard's routers, locked as a unit: by its worker during the routing
@@ -176,6 +221,7 @@ struct RouterState {
 #[derive(Debug)]
 struct ShardState {
     routers: Vec<RouterState>,
+    pools: ShardPools,
 }
 
 /// One undirected link as fault injection sees it: the directed input-queue
@@ -233,6 +279,12 @@ struct Shared {
     neighbor_index: Vec<HashMap<usize, usize>>,
     plan: ShardPlan,
     shards: Vec<Mutex<ShardState>>,
+    /// Per-destination-shard arrival inboxes: packets in flight towards the
+    /// shard's routers. Pushed by any shard at forward time (the mutex is
+    /// held for one slab write; contention is rare and never blocks the
+    /// wavefront), drained by the owning shard at the start of its routing
+    /// phase, and purged/counted by the coordinator at cycle boundaries.
+    inboxes: Vec<Mutex<InFlightPool>>,
     /// Flattened credit counters mirroring the queues *plus* packets in
     /// flight towards them (the hardware credit counters):
     /// `occupancy[occ_offset[node] + neighbor_idx * vcs + vc]`. The counter
@@ -305,14 +357,27 @@ struct PhaseTimers {
     commit: Duration,
 }
 
+/// Boundary-sampled pool occupancy peaks, exported as `sim.pool.*` gauges at
+/// the end of the run. Each peak is a *network-wide total* sampled while the
+/// workers are parked, so the values are invariant under the shard layout.
+#[derive(Debug, Default)]
+struct PoolPeaks {
+    /// Peak live packets across all shard packet pools (queued + backlog).
+    packets: u64,
+    /// Peak in-flight entries across all arrival inboxes.
+    in_flight: u64,
+    /// Peak commit-log entries replayed in a single cycle.
+    commit_entries: u64,
+}
+
 /// State only the coordinating thread touches.
 #[derive(Debug)]
 struct SerialState {
     cycle: u64,
     next_packet_id: u64,
     stats: SimulationStats,
-    in_flight: Vec<InFlight>,
     pending_replies: BinaryHeap<PendingReply>,
+    peaks: PoolPeaks,
     /// Outstanding fault repairs, in strike order (deterministic).
     fault_repairs: Vec<FaultRepair>,
     timers: PhaseTimers,
@@ -497,15 +562,25 @@ impl ShardedSimulator {
                         .iter()
                         .map(|&node| RouterState {
                             node,
-                            queues: vec![vec![VecDeque::new(); vcs]; adjacency[node].len()],
-                            injection: VecDeque::new(),
+                            queues: vec![List::new(); adjacency[node].len() * vcs],
+                            injection: List::new(),
+                            queued_net: 0,
                             memory: MemoryNodeModel::new(NodeId::new(node), &system),
-                            events: Vec::new(),
+                            commit: List::new(),
+                            used_outputs: vec![false; adjacency[node].len()],
                             local: LocalStats::default(),
                         })
                         .collect(),
+                    pools: ShardPools {
+                        packets: Pool::new(),
+                        commits: Pool::new(),
+                        backlog: 0,
+                    },
                 })
             })
+            .collect();
+        let inboxes = (0..plan.count())
+            .map(|_| Mutex::new(InFlightPool::new()))
             .collect();
 
         Ok(Self {
@@ -521,6 +596,7 @@ impl ShardedSimulator {
                 neighbor_index,
                 plan,
                 shards,
+                inboxes,
                 occupancy,
                 occ_offset,
                 done: (0..num_nodes).map(|_| AtomicU64::new(0)).collect(),
@@ -530,8 +606,8 @@ impl ShardedSimulator {
                 cycle: 0,
                 next_packet_id: 0,
                 stats: SimulationStats::default(),
-                in_flight: Vec::new(),
                 pending_replies: BinaryHeap::new(),
+                peaks: PoolPeaks::default(),
                 fault_repairs: Vec::new(),
                 timers: PhaseTimers::default(),
                 telemetry,
@@ -574,24 +650,16 @@ impl ShardedSimulator {
     }
 
     /// Number of packets currently queued, in flight, or awaiting DRAM
-    /// service.
+    /// service. O(shards): reads the pools' cached live counters instead of
+    /// walking every queue.
     #[must_use]
     pub fn packets_outstanding(&self) -> u64 {
         let guards = self.shared.lock_all();
-        let queued: usize = guards
+        let queued: u64 = guards
             .iter()
-            .flat_map(|shard| shard.routers.iter())
-            .map(|router| {
-                router.injection.len()
-                    + router
-                        .queues
-                        .iter()
-                        .flat_map(|per_vc| per_vc.iter())
-                        .map(VecDeque::len)
-                        .sum::<usize>()
-            })
+            .map(|shard| u64::from(shard.pools.packets.live()))
             .sum();
-        (queued + self.serial.in_flight.len() + self.serial.pending_replies.len()) as u64
+        queued + in_flight_total(&self.shared) + self.serial.pending_replies.len() as u64
     }
 
     /// Per-node memory statistics (reads, writes, row hit rate), in node-id
@@ -619,10 +687,32 @@ impl ShardedSimulator {
     pub fn run(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<SimulationStats> {
         self.serial.stats.active_nodes = self.shared.active.iter().filter(|&&a| a).count();
         if self.shared.plan.count() <= 1 {
-            self.run_with(traffic, None)
+            run_serial(&self.shared, &mut self.serial, traffic)
         } else {
             self.run_on_workers(traffic)
         }
+    }
+
+    /// Advances a **single-shard** simulator by exactly one cycle. This is
+    /// the building block the allocation-free contract is pinned against:
+    /// after warm-up, a call performs zero heap allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SfError::InvalidConfiguration`] if the simulator resolved to
+    /// more than one shard (single-stepping would have to park and release
+    /// worker threads every call), or a routing error as in [`Self::run`].
+    pub fn step_one(&mut self, traffic: &mut dyn TrafficModel) -> SfResult<()> {
+        if self.shared.plan.count() != 1 {
+            return Err(SfError::InvalidConfiguration {
+                reason: format!(
+                    "step_one requires a single-shard simulator (resolved to {} shards)",
+                    self.shared.plan.count()
+                ),
+            });
+        }
+        let mut guards = [self.shared.shards[0].lock().expect("shard state poisoned")];
+        step_serial(&self.shared, &mut self.serial, traffic, &mut guards)
     }
 
     /// Spawns the K−1 worker threads and runs the coordinator loop between
@@ -662,21 +752,13 @@ impl ShardedSimulator {
                 epoch_cell: &epoch_cell,
                 worker_errors: &worker_errors,
             };
-            let result = run_loop(shared, serial, traffic, Some(&sync));
+            let result = run_loop(shared, serial, traffic, &sync);
             // Release the workers: they re-check `stop` right after the
             // barrier they are all parked on.
             stop.store(true, Ordering::Release);
             barrier.wait();
             result
         })
-    }
-
-    fn run_with(
-        &mut self,
-        traffic: &mut dyn TrafficModel,
-        sync: Option<&StepSync<'_>>,
-    ) -> SfResult<SimulationStats> {
-        run_loop(&self.shared, &mut self.serial, traffic, sync)
     }
 }
 
@@ -688,31 +770,89 @@ struct StepSync<'a> {
     worker_errors: &'a [Mutex<Option<(usize, SfError)>>],
 }
 
-/// The injection loop followed by the drain loop — identical control flow to
-/// the reference serial simulator.
+/// The single-shard run loop: the shard guard is taken **once** and held
+/// across the entire run, so steady-state cycles touch no locks beyond the
+/// (uncontended) inbox mutex and allocate nothing. Control flow — injection
+/// loop, congestion snapshot, drain loop — is identical to the reference
+/// serial simulator.
+fn run_serial(
+    shared: &Shared,
+    serial: &mut SerialState,
+    traffic: &mut dyn TrafficModel,
+) -> SfResult<SimulationStats> {
+    let mut guards = shared.lock_all();
+    while serial.cycle < shared.config.max_cycles {
+        step_serial(shared, serial, traffic, &mut guards)?;
+    }
+    snapshot_congestion(shared, serial, &guards);
+    let drain_deadline = shared.config.max_cycles * 2;
+    while serial.cycle < drain_deadline && outstanding_on(shared, serial, &guards) > 0 {
+        step_serial(shared, serial, &mut NoTraffic, &mut guards)?;
+    }
+    finish_run(shared, serial, &mut guards)
+}
+
+/// The multi-shard run loop: same control flow as [`run_serial`], but every
+/// cycle re-acquires the shard guards around its serial phases so the worker
+/// threads can take their own shard during the routing phase.
 fn run_loop(
     shared: &Shared,
     serial: &mut SerialState,
     traffic: &mut dyn TrafficModel,
-    sync: Option<&StepSync<'_>>,
+    sync: &StepSync<'_>,
 ) -> SfResult<SimulationStats> {
     while serial.cycle < shared.config.max_cycles {
         step(shared, serial, traffic, sync)?;
     }
     // Snapshot congestion state at the end of the injection phase: this is
     // what the saturation heuristic looks at (draining would hide it).
-    let (queued, backlog) = queue_census(shared);
-    serial.stats.in_flight_at_end =
-        queued + backlog + (serial.in_flight.len() + serial.pending_replies.len()) as u64;
-    serial.stats.backlog_at_end = backlog;
+    {
+        let guards = shared.lock_all();
+        snapshot_congestion(shared, serial, &guards);
+    }
     // Drain phase: stop injecting and let queued packets finish, bounded by
     // another max_cycles to avoid infinite loops on saturated runs.
     let drain_deadline = shared.config.max_cycles * 2;
-    while serial.cycle < drain_deadline && outstanding(shared, serial) > 0 {
+    loop {
+        if serial.cycle >= drain_deadline {
+            break;
+        }
+        let outstanding = {
+            let guards = shared.lock_all();
+            outstanding_on(shared, serial, &guards)
+        };
+        if outstanding == 0 {
+            break;
+        }
         step(shared, serial, &mut NoTraffic, sync)?;
     }
-    merge_local_stats(shared, serial);
+    let mut guards = shared.lock_all();
+    finish_run(shared, serial, &mut guards)
+}
+
+/// Records the end-of-injection congestion state the saturation heuristic
+/// looks at (draining would hide it).
+fn snapshot_congestion(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &[MutexGuard<'_, ShardState>],
+) {
+    let (queued, backlog) = queue_census_on(guards);
+    serial.stats.in_flight_at_end =
+        queued + backlog + in_flight_total(shared) + serial.pending_replies.len() as u64;
+    serial.stats.backlog_at_end = backlog;
+}
+
+/// End-of-run bookkeeping shared by both loops: fold the per-router
+/// counters, export the pool metrics, flush telemetry and phase timers.
+fn finish_run(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &mut [MutexGuard<'_, ShardState>],
+) -> SfResult<SimulationStats> {
+    merge_local_stats(shared, serial, guards);
     serial.stats.cycles = serial.cycle;
+    record_pool_metrics(shared, serial, guards);
     if let Some(series) = serial.telemetry.take() {
         sf_obs::metrics::global().counter_add("sim.telemetry_samples", series.samples() as u64);
         sf_obs::telemetry::Collector::global().submit(series.encode());
@@ -720,8 +860,8 @@ fn run_loop(
     if sf_obs::span::timing_enabled() {
         let tracer = sf_obs::span::Tracer::global();
         let timers = std::mem::take(&mut serial.timers);
-        tracer.add_duration("kernel_cycle_phases", timers.route, serial.cycle);
-        tracer.add_duration("commit_replay", timers.commit, serial.cycle);
+        tracer.add_duration_event("kernel_cycle_phases", timers.route, serial.cycle);
+        tracer.add_duration_event("commit_replay", timers.commit, serial.cycle);
     }
     Ok(serial.stats.clone())
 }
@@ -731,8 +871,11 @@ fn run_loop(
 /// are order-independent, which is exactly why these counters never needed
 /// the serial per-cycle replay. Counters are drained so a repeated run
 /// cannot double-count.
-fn merge_local_stats(shared: &Shared, serial: &mut SerialState) {
-    let mut guards = shared.lock_all();
+fn merge_local_stats(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &mut [MutexGuard<'_, ShardState>],
+) {
     for (_, shard, slot) in shared.plan.locations() {
         let local = std::mem::take(&mut guards[shard].routers[slot].local);
         let stats = &mut serial.stats;
@@ -743,29 +886,94 @@ fn merge_local_stats(shared: &Shared, serial: &mut SerialState) {
         stats.total_hops += local.total_hops;
         stats.completed_requests += local.completed_requests;
         stats.total_round_trip_cycles += local.total_round_trip_cycles;
+        stats.dropped_packets += local.dropped_packets;
     }
 }
 
+/// Exports the `sim.pool.*` determinism-contract metrics (boundary-sampled
+/// occupancy peaks and lifetime push totals — invariant under the worker ×
+/// shard matrix) and the layout-dependent `sched.pool_*` companions (slab
+/// capacities and grow counts legitimately depend on K).
+fn record_pool_metrics(
+    shared: &Shared,
+    serial: &SerialState,
+    guards: &[MutexGuard<'_, ShardState>],
+) {
+    let metrics = sf_obs::metrics::global();
+    metrics.gauge_max("sim.pool.packets_peak", serial.peaks.packets);
+    metrics.gauge_max("sim.pool.in_flight_peak", serial.peaks.in_flight);
+    metrics.gauge_max("sim.pool.commit_entries_peak", serial.peaks.commit_entries);
+    let mut packet_pushes = 0u64;
+    let mut commit_pushes = 0u64;
+    let mut slots = 0u64;
+    let mut grows = 0u64;
+    for shard in guards {
+        packet_pushes += shard.pools.packets.pushes();
+        commit_pushes += shard.pools.commits.pushes();
+        slots += (shard.pools.packets.capacity() + shard.pools.commits.capacity()) as u64;
+        grows += shard.pools.packets.grows() + shard.pools.commits.grows();
+    }
+    let mut in_flight_pushes = 0u64;
+    for inbox in &shared.inboxes {
+        let inbox = inbox.lock().expect("inbox poisoned");
+        in_flight_pushes += inbox.pushes();
+        slots += inbox.capacity() as u64;
+        grows += inbox.grows();
+    }
+    metrics.counter_add("sim.pool.packet_pushes", packet_pushes);
+    metrics.counter_add("sim.pool.in_flight_pushes", in_flight_pushes);
+    metrics.counter_add("sim.pool.commit_pushes", commit_pushes);
+    metrics.counter_add("sched.pool_slots", slots);
+    metrics.counter_add("sched.pool_grows", grows);
+}
+
 /// Network-queue occupancy as (in-network queued, injection backlog).
-fn queue_census(shared: &Shared) -> (u64, u64) {
-    let guards = shared.lock_all();
+/// O(shards): both numbers come from counters the pools maintain on
+/// push/pop, never from walking queues.
+fn queue_census_on(guards: &[MutexGuard<'_, ShardState>]) -> (u64, u64) {
     let mut queued = 0u64;
     let mut backlog = 0u64;
-    for router in guards.iter().flat_map(|shard| shard.routers.iter()) {
-        backlog += router.injection.len() as u64;
-        queued += router
-            .queues
-            .iter()
-            .flat_map(|per_vc| per_vc.iter())
-            .map(|q| q.len() as u64)
-            .sum::<u64>();
+    for shard in guards {
+        let live = u64::from(shard.pools.packets.live());
+        let b = u64::from(shard.pools.backlog);
+        queued += live - b;
+        backlog += b;
     }
     (queued, backlog)
 }
 
-fn outstanding(shared: &Shared, serial: &SerialState) -> u64 {
-    let (queued, backlog) = queue_census(shared);
-    queued + backlog + (serial.in_flight.len() + serial.pending_replies.len()) as u64
+/// Packets currently traversing links, summed over the arrival inboxes.
+fn in_flight_total(shared: &Shared) -> u64 {
+    shared
+        .inboxes
+        .iter()
+        .map(|inbox| u64::from(inbox.lock().expect("inbox poisoned").len()))
+        .sum()
+}
+
+fn outstanding_on(
+    shared: &Shared,
+    serial: &SerialState,
+    guards: &[MutexGuard<'_, ShardState>],
+) -> u64 {
+    let (queued, backlog) = queue_census_on(guards);
+    queued + backlog + in_flight_total(shared) + serial.pending_replies.len() as u64
+}
+
+/// Folds this boundary's pool occupancy into the run's peaks. Sampled after
+/// the serial pre-route phases with the routing workers parked, so every
+/// total is the serial-equivalent network-wide state — invariant under K.
+fn track_pool_peaks(
+    shared: &Shared,
+    serial: &mut SerialState,
+    guards: &[MutexGuard<'_, ShardState>],
+) {
+    let live: u64 = guards
+        .iter()
+        .map(|shard| u64::from(shard.pools.packets.live()))
+        .sum();
+    serial.peaks.packets = serial.peaks.packets.max(live);
+    serial.peaks.in_flight = serial.peaks.in_flight.max(in_flight_total(shared));
 }
 
 /// Records one telemetry sample if the series is on and the cycle is on
@@ -775,6 +983,14 @@ fn outstanding(shared: &Shared, serial: &SerialState) -> u64 {
 /// the guards, the credit counters are quiescent (relaxed loads are
 /// race-free here, the same argument fault injection makes), and the
 /// energy accumulators were committed serially in id order.
+///
+/// Queue depth reads the cached occupancy counters the pools maintain —
+/// O(1) per router instead of the old rescan of every `VecDeque` (O(ports ×
+/// vcs) per router per sample). The sample point is *before* the arrival
+/// drain for every shard count (due arrivals still sit in the inboxes and
+/// show up in the link-occupancy columns, not the router depths), which is
+/// what keeps the series K-invariant now that draining happens inside the
+/// routing phase.
 fn maybe_sample_telemetry(
     shared: &Shared,
     serial: &mut SerialState,
@@ -790,14 +1006,8 @@ fn maybe_sample_telemetry(
     }
     for (_, shard, slot) in shared.plan.locations() {
         let router = &guards[shard].routers[slot];
-        let depth = router.injection.len()
-            + router
-                .queues
-                .iter()
-                .flat_map(|per_vc| per_vc.iter())
-                .map(VecDeque::len)
-                .sum::<usize>();
-        series.push_router(depth as u32, router.local.blocked_forwards);
+        let depth = router.queued_net + router.injection.len();
+        series.push_router(depth, router.local.blocked_forwards);
     }
     let vcs = shared.config.virtual_channels;
     for (node, nbs) in shared.adjacency.iter().enumerate() {
@@ -810,12 +1020,13 @@ fn maybe_sample_telemetry(
     }
 }
 
-/// Advances the simulation by one cycle.
+/// Advances a multi-shard simulation by one cycle, parking and releasing the
+/// worker threads around the routing phase.
 fn step(
     shared: &Shared,
     serial: &mut SerialState,
     traffic: &mut dyn TrafficModel,
-    sync: Option<&StepSync<'_>>,
+    sync: &StepSync<'_>,
 ) -> SfResult<()> {
     let cycle = serial.cycle;
     let epoch = cycle + 1;
@@ -826,45 +1037,41 @@ fn step(
         // every router quiescent, all state serial-equivalent, so the
         // sample is bit-identical for any worker x shard count.
         maybe_sample_telemetry(shared, serial, &guards);
+        track_pool_peaks(shared, serial, &guards);
     }
 
     // Routing phase: every shard processes its routers, wavefront-ordered.
     let route_timer = sf_obs::span::timing_start();
-    let own_failure = match sync {
-        None => shard_routing_phase(shared, 0, cycle, epoch).err(),
-        Some(sync) => {
-            sync.epoch_cell.store(epoch, Ordering::Release);
-            sync.barrier.wait();
-            let own = shard_routing_phase(shared, 0, cycle, epoch).err();
-            sync.barrier.wait();
-            // Deterministic error selection: the lowest failing router id
-            // wins, exactly like the serial loop's first-error-encountered.
-            let mut failure = own;
-            for slot in sync.worker_errors {
-                if let Some(candidate) = slot.lock().expect("error slot poisoned").take() {
-                    let better = failure
-                        .as_ref()
-                        .is_none_or(|current| candidate.0 < current.0);
-                    if better {
-                        failure = Some(candidate);
-                    }
-                }
+    sync.epoch_cell.store(epoch, Ordering::Release);
+    sync.barrier.wait();
+    let own = shard_routing_phase(shared, 0, cycle, epoch).err();
+    sync.barrier.wait();
+    // Deterministic error selection: the lowest failing router id wins,
+    // exactly like the serial loop's first-error-encountered.
+    let mut failure = own;
+    for slot in sync.worker_errors {
+        if let Some(candidate) = slot.lock().expect("error slot poisoned").take() {
+            let better = failure
+                .as_ref()
+                .is_none_or(|current| candidate.0 < current.0);
+            if better {
+                failure = Some(candidate);
             }
-            failure
         }
-    };
+    }
     if let Some(started) = route_timer {
         serial.timers.route += started.elapsed();
     }
-    if let Some((_, error)) = own_failure {
+    if let Some((_, error)) = failure {
         return Err(error);
     }
 
-    // Serial commit: replay every router's deferred events in id order.
+    // Serial commit: replay every router's commit log in id order.
     {
         let commit_timer = sf_obs::span::timing_start();
         let mut guards = shared.lock_all();
-        commit_phase(shared, serial, &mut guards);
+        let entries = commit_phase(shared, serial, &mut guards);
+        serial.peaks.commit_entries = serial.peaks.commit_entries.max(entries);
         if let Some(started) = commit_timer {
             serial.timers.commit += started.elapsed();
         }
@@ -873,8 +1080,43 @@ fn step(
     Ok(())
 }
 
-/// Serial phases 0–3: fault boundary, traffic injection, reply release,
-/// link arrivals.
+/// Advances a single-shard simulation by one cycle with the shard guard
+/// already held — no locking, no thread hand-off, and (after warm-up) no
+/// heap allocation.
+fn step_serial(
+    shared: &Shared,
+    serial: &mut SerialState,
+    traffic: &mut dyn TrafficModel,
+    guards: &mut [MutexGuard<'_, ShardState>],
+) -> SfResult<()> {
+    let cycle = serial.cycle;
+    let epoch = cycle + 1;
+    pre_route_phases(shared, serial, guards, traffic)?;
+    maybe_sample_telemetry(shared, serial, guards);
+    track_pool_peaks(shared, serial, guards);
+
+    let route_timer = sf_obs::span::timing_start();
+    let failure = shard_routing_locked(shared, &mut guards[0], 0, cycle, epoch);
+    if let Some(started) = route_timer {
+        serial.timers.route += started.elapsed();
+    }
+    if let Some((_, error)) = failure {
+        return Err(error);
+    }
+
+    let commit_timer = sf_obs::span::timing_start();
+    let entries = commit_phase(shared, serial, guards);
+    serial.peaks.commit_entries = serial.peaks.commit_entries.max(entries);
+    if let Some(started) = commit_timer {
+        serial.timers.commit += started.elapsed();
+    }
+    serial.cycle += 1;
+    Ok(())
+}
+
+/// Serial phases 0–2: fault boundary, traffic injection, reply release.
+/// (Link arrivals are no longer a serial phase — each shard drains its own
+/// inbox at the start of its routing phase, see [`drain_arrivals`].)
 fn pre_route_phases(
     shared: &Shared,
     serial: &mut SerialState,
@@ -917,34 +1159,11 @@ fn pre_route_phases(
             continue;
         }
         let (shard, slot) = shared.plan.locate(reply.node);
-        guards[shard].routers[slot]
+        let ShardState { routers, pools } = &mut *guards[shard];
+        routers[slot]
             .injection
-            .push_back(reply.packet);
-    }
-
-    // 3. Deliver packets finishing their link traversal. (Fault drops purge
-    //    in-flight entries at the boundary, so arrivals at a dead resource
-    //    cannot normally happen; the check is defensive and keeps the
-    //    credit counters consistent either way.)
-    let mut arrived = Vec::new();
-    serial.in_flight.retain(|f| {
-        if f.arrival_cycle <= cycle {
-            arrived.push(f.clone());
-            false
-        } else {
-            true
-        }
-    });
-    for f in arrived {
-        if shared.router_faulted(f.to_node) || shared.link_faulted(f.to_node, f.from_index) {
-            shared
-                .occ(f.to_node, f.from_index, f.vc)
-                .fetch_sub(1, Ordering::Relaxed);
-            serial.stats.dropped_packets += 1;
-            continue;
-        }
-        let (shard, slot) = shared.plan.locate(f.to_node);
-        guards[shard].routers[slot].queues[f.from_index][f.vc].push_back(f.packet);
+            .push_back(&mut pools.packets, reply.packet);
+        pools.backlog += 1;
     }
     Ok(())
 }
@@ -1004,7 +1223,7 @@ fn apply_fault_boundary(
             fault.edges[e]
                 .slots
                 .iter()
-                .any(|&(to, idx)| f.to_node == to && f.from_index == idx)
+                .any(|&(to, idx)| f.to_node as usize == to && f.from_index as usize == idx)
         });
         serial.fault_repairs.push(FaultRepair {
             at: cycle + fault.plan.repair_cycles,
@@ -1024,18 +1243,24 @@ fn apply_fault_boundary(
         // Everything queued at the gated router is lost; credits return to
         // the senders so the links are clean after the repair.
         let (shard, slot) = shared.plan.locate(m);
-        let router = &mut guards[shard].routers[slot];
-        for (idx, per_vc) in router.queues.iter_mut().enumerate() {
-            for (vc, queue) in per_vc.iter_mut().enumerate() {
-                while queue.pop_front().is_some() {
-                    shared.occ(m, idx, vc).fetch_sub(1, Ordering::Relaxed);
-                    serial.stats.dropped_packets += 1;
-                }
+        let vcs = shared.config.virtual_channels;
+        let ShardState { routers, pools } = &mut *guards[shard];
+        let router = &mut routers[slot];
+        for idx in 0..router.queues.len() {
+            let (link, vc) = (idx / vcs, idx % vcs);
+            while router.queues[idx].pop_front(&mut pools.packets).is_some() {
+                shared.occ(m, link, vc).fetch_sub(1, Ordering::Relaxed);
+                serial.stats.dropped_packets += 1;
             }
         }
-        serial.stats.dropped_packets += router.injection.len() as u64;
-        router.injection.clear();
-        drop_in_flight(shared, serial, |f| f.to_node == m);
+        router.queued_net = 0;
+        let mut purged = 0u32;
+        while router.injection.pop_front(&mut pools.packets).is_some() {
+            purged += 1;
+        }
+        serial.stats.dropped_packets += u64::from(purged);
+        pools.backlog -= purged;
+        drop_in_flight(shared, serial, |f| f.to_node as usize == m);
         serial.fault_repairs.push(FaultRepair {
             at: cycle + fault.plan.repair_cycles,
             victim: FaultVictim::Router(m),
@@ -1044,21 +1269,32 @@ fn apply_fault_boundary(
 }
 
 /// Drops every in-flight packet matching `doomed`, returning its credit and
-/// counting it as fault-dropped.
-fn drop_in_flight(shared: &Shared, serial: &mut SerialState, doomed: impl Fn(&InFlight) -> bool) {
-    let mut in_flight = std::mem::take(&mut serial.in_flight);
-    in_flight.retain(|f| {
-        if doomed(f) {
-            shared
-                .occ(f.to_node, f.from_index, f.vc)
-                .fetch_sub(1, Ordering::Relaxed);
-            serial.stats.dropped_packets += 1;
-            false
-        } else {
-            true
-        }
-    });
-    serial.in_flight = in_flight;
+/// counting it as fault-dropped. One in-place pass over each inbox (no
+/// take-and-rebuild): [`InFlightPool::extract_if`] unlinks doomed entries as
+/// it walks the FIFO chain. Runs at the cycle boundary on the coordinating
+/// thread; the per-entry effects (credit returns, a drop count) are
+/// commutative, so the per-inbox walk order is unobservable.
+fn drop_in_flight(
+    shared: &Shared,
+    serial: &mut SerialState,
+    doomed: impl Fn(&InFlightMeta) -> bool,
+) {
+    for inbox in &shared.inboxes {
+        let mut inbox = inbox.lock().expect("inbox poisoned");
+        inbox.extract_if(
+            |meta| doomed(&meta),
+            |meta, _packet| {
+                shared
+                    .occ(
+                        meta.to_node as usize,
+                        meta.from_index as usize,
+                        meta.vc as usize,
+                    )
+                    .fetch_sub(1, Ordering::Relaxed);
+                serial.stats.dropped_packets += 1;
+            },
+        );
+    }
 }
 
 fn enqueue_request(
@@ -1115,13 +1351,15 @@ fn enqueue_request(
         serial.stats.injected += 1;
     }
     let (shard, slot) = shared.plan.locate(source);
-    let router = &mut guards[shard].routers[slot];
+    let ShardState { routers, pools } = &mut *guards[shard];
+    let router = &mut routers[slot];
     if source == dest.index() {
         // Local access: no network traversal, service memory directly.
         apply_eject(shared, serial, router, packet, cycle, measuring);
         return Ok(());
     }
-    router.injection.push_back(packet);
+    router.injection.push_back(&mut pools.packets, packet);
+    pools.backlog += 1;
     Ok(())
 }
 
@@ -1139,35 +1377,7 @@ fn shard_routing_phase(
 ) -> Result<(), (usize, SfError)> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let mut state = shared.shards[s].lock().expect("shard state poisoned");
-        let mut failed: Option<(usize, SfError)> = None;
-        for idx in 0..state.routers.len() {
-            let node = state.routers[idx].node;
-            // A fault-gated router skips its routing step (its queues were
-            // drained when it went down) but still publishes its epoch.
-            if shared.active[node] && !shared.router_faulted(node) && failed.is_none() {
-                for &dep in shared.plan.wait_for(node) {
-                    let mut spins = 0u32;
-                    while shared.done[dep].load(Ordering::Acquire) < epoch {
-                        // A short spin burst covers the common case (the
-                        // dependency is a few routers from done); after that,
-                        // yield every iteration so an oversubscribed machine
-                        // — more shards than idle cores — makes progress
-                        // instead of burning a scheduling quantum.
-                        spins = spins.saturating_add(1);
-                        if spins < 32 {
-                            std::hint::spin_loop();
-                        } else {
-                            std::thread::yield_now();
-                        }
-                    }
-                }
-                if let Err(error) = route_node(shared, &mut state.routers[idx], cycle) {
-                    failed = Some((node, error));
-                }
-            }
-            shared.done[node].store(epoch, Ordering::Release);
-        }
-        failed
+        shard_routing_locked(shared, &mut state, s, cycle, epoch)
     }));
     match outcome {
         Ok(None) => Ok(()),
@@ -1189,10 +1399,102 @@ fn shard_routing_phase(
     }
 }
 
+/// The body of one shard's routing phase, with the shard guard already held:
+/// drain the shard's due arrivals, then route every router in id order under
+/// the wavefront. Returns the lowest-id routing failure, if any; every
+/// router's epoch is published regardless so sibling shards never spin
+/// forever.
+fn shard_routing_locked(
+    shared: &Shared,
+    state: &mut ShardState,
+    s: usize,
+    cycle: u64,
+    epoch: u64,
+) -> Option<(usize, SfError)> {
+    drain_arrivals(shared, state, s, cycle);
+    let ShardState { routers, pools } = state;
+    let mut failed: Option<(usize, SfError)> = None;
+    for router in routers.iter_mut() {
+        let node = router.node;
+        // A fault-gated router skips its routing step (its queues were
+        // drained when it went down) but still publishes its epoch.
+        if shared.active[node] && !shared.router_faulted(node) && failed.is_none() {
+            for &dep in shared.plan.wait_for(node) {
+                let mut spins = 0u32;
+                while shared.done[dep].load(Ordering::Acquire) < epoch {
+                    // A short spin burst covers the common case (the
+                    // dependency is a few routers from done); after that,
+                    // yield every iteration so an oversubscribed machine
+                    // — more shards than idle cores — makes progress
+                    // instead of burning a scheduling quantum.
+                    spins = spins.saturating_add(1);
+                    if spins < 32 {
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            if let Err(error) = route_node(shared, pools, router, cycle) {
+                failed = Some((node, error));
+            }
+        }
+        shared.done[node].store(epoch, Ordering::Release);
+    }
+    failed
+}
+
+/// Moves every arrival due at `cycle` from the shard's inbox into the
+/// destination routers' input queues. Runs at the start of the shard's
+/// routing phase, *before* the wavefront waits: it only writes this shard's
+/// own queues (which no other shard reads) and the credit counters it
+/// touches for fault-dropped arrivals are never read while the receiving
+/// resource is down — so the drain is invisible to every other shard.
+///
+/// Each (router, port) pair receives at most one packet per cycle (one
+/// forward per output link per cycle, constant per-link latency), so the
+/// nondeterministic cross-shard push order in the inbox can only reorder
+/// arrivals that land in *distinct* queues — unobservable, and exactly why
+/// this phase no longer needs the coordinator.
+fn drain_arrivals(shared: &Shared, state: &mut ShardState, s: usize, cycle: u64) {
+    let vcs = shared.config.virtual_channels;
+    let ShardState { routers, pools } = state;
+    let mut inbox = shared.inboxes[s].lock().expect("inbox poisoned");
+    inbox.extract_if(
+        |meta| meta.arrival_cycle <= cycle,
+        |meta, packet| {
+            let to = meta.to_node as usize;
+            let from_index = meta.from_index as usize;
+            let vc = meta.vc as usize;
+            let slot = shared.plan.locate(to).1;
+            // Fault drops purge in-flight entries at the boundary, so an
+            // arrival at a dead resource cannot normally happen; the check
+            // is defensive and keeps the credit counters consistent.
+            if shared.router_faulted(to) || shared.link_faulted(to, from_index) {
+                shared
+                    .occ(to, from_index, vc)
+                    .fetch_sub(1, Ordering::Relaxed);
+                routers[slot].local.dropped_packets += 1;
+            } else {
+                let router = &mut routers[slot];
+                router.queues[from_index * vcs + vc].push_back(&mut pools.packets, packet);
+                router.queued_net += 1;
+            }
+        },
+    );
+}
+
 /// Processes one router for one cycle: ejection and forwarding, one packet
 /// per output link per cycle, one ejection per cycle per node. Identical
-/// decision order to the reference serial simulator.
-fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult<()> {
+/// decision order to the reference serial simulator. Allocation-free: queue
+/// traffic recycles pool slots and the output scoreboard is a reusable
+/// per-router buffer.
+fn route_node(
+    shared: &Shared,
+    pools: &mut ShardPools,
+    router: &mut RouterState,
+    cycle: u64,
+) -> SfResult<()> {
     let node = router.node;
     let num_links = shared.adjacency[node].len();
     let vcs = shared.config.virtual_channels;
@@ -1200,35 +1502,38 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
     // is scanned last so in-network packets have priority.
     let total_queues = num_links * vcs;
     let offset = (cycle as usize) % total_queues.max(1);
-    let mut used_outputs: Vec<bool> = vec![false; num_links];
+    router.used_outputs.fill(false);
     let mut ejected = false;
 
     for q in 0..total_queues {
         let idx = (q + offset) % total_queues;
         let (link, vc) = (idx / vcs, idx % vcs);
-        let Some(packet) = router.queues[link][vc].front().cloned() else {
+        let Some(&packet) = router.queues[idx].front(&pools.packets) else {
             continue;
         };
         if packet.destination.index() == node {
             if !ejected {
-                let packet = router.queues[link][vc]
-                    .pop_front()
+                let packet = router.queues[idx]
+                    .pop_front(&mut pools.packets)
                     .expect("head packet present");
+                router.queued_net -= 1;
                 shared.occ(node, link, vc).fetch_sub(1, Ordering::Relaxed);
-                eject_in_phase(shared, router, packet, cycle);
+                eject_in_phase(shared, &mut pools.commits, router, packet, cycle);
                 ejected = true;
             }
             continue;
         }
         if try_forward(
             shared,
-            &mut router.events,
+            &mut pools.commits,
+            &mut router.commit,
             node,
             &packet,
-            &mut used_outputs,
+            &mut router.used_outputs,
             cycle,
         )? {
-            router.queues[link][vc].pop_front();
+            router.queues[idx].pop_front(&mut pools.packets);
+            router.queued_net -= 1;
             shared.occ(node, link, vc).fetch_sub(1, Ordering::Relaxed);
         } else if cycle >= shared.config.warmup_cycles {
             router.local.blocked_forwards += 1;
@@ -1236,21 +1541,27 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
     }
 
     // Injection queue: the terminal port can insert one packet per cycle.
-    if let Some(packet) = router.injection.front().cloned() {
+    if let Some(&packet) = router.injection.front(&pools.packets) {
         if packet.destination.index() == node {
             // A reply addressed to the local node (possible when a processor
             // and memory share a node): deliver directly.
-            let packet = router.injection.pop_front().expect("head");
-            eject_in_phase(shared, router, packet, cycle);
+            let packet = router
+                .injection
+                .pop_front(&mut pools.packets)
+                .expect("head");
+            pools.backlog -= 1;
+            eject_in_phase(shared, &mut pools.commits, router, packet, cycle);
         } else if try_forward(
             shared,
-            &mut router.events,
+            &mut pools.commits,
+            &mut router.commit,
             node,
             &packet,
-            &mut used_outputs,
+            &mut router.used_outputs,
             cycle,
         )? {
-            router.injection.pop_front();
+            router.injection.pop_front(&mut pools.packets);
+            pools.backlog -= 1;
         } else if cycle >= shared.config.warmup_cycles {
             router.local.blocked_forwards += 1;
         }
@@ -1262,8 +1573,14 @@ fn route_node(shared: &Shared, router: &mut RouterState, cycle: u64) -> SfResult
 /// commutative integer statistics into the router's local counters and runs
 /// the (router-local) DRAM access for request packets. The float DRAM energy
 /// and the reply's packet-id assignment still need the serial order, so they
-/// travel to the commit as a [`RouterEvent::Serviced`].
-fn eject_in_phase(shared: &Shared, router: &mut RouterState, packet: Packet, cycle: u64) {
+/// travel to the commit as a [`CommitEntry::Serviced`].
+fn eject_in_phase(
+    shared: &Shared,
+    commits: &mut Pool<CommitEntry>,
+    router: &mut RouterState,
+    packet: Packet,
+    cycle: u64,
+) {
     let measuring = cycle >= shared.config.warmup_cycles;
     fold_delivery(&mut router.local, &packet, cycle, measuring);
     if matches!(
@@ -1274,10 +1591,16 @@ fn eject_in_phase(shared: &Shared, router: &mut RouterState, packet: Packet, cyc
         let service = router
             .memory
             .access(address, packet.kind == PacketKind::WriteRequest);
-        router.events.push(RouterEvent::Serviced {
-            service,
-            request: packet,
-        });
+        router.commit.push_back(
+            commits,
+            CommitEntry::Serviced {
+                service,
+                source: packet.source,
+                destination: packet.destination,
+                kind: packet.kind,
+                request_issued_at: packet.request_issued_at,
+            },
+        );
     }
 }
 
@@ -1298,10 +1621,13 @@ fn fold_delivery(local: &mut LocalStats, packet: &Packet, cycle: u64, measuring:
 }
 
 /// Attempts to forward `packet` out of `node`; returns `true` if the packet
-/// entered a link this cycle (the Forward event is logged, credits taken).
+/// entered a link this cycle: credits taken, the packet handed to the
+/// destination shard's arrival inbox, and (when measuring) a
+/// [`CommitEntry::LinkEnergy`] logged for the serial float replay.
 fn try_forward(
     shared: &Shared,
-    events: &mut Vec<RouterEvent>,
+    commits: &mut Pool<CommitEntry>,
+    commit: &mut List,
     node: usize,
     packet: &Packet,
     used_outputs: &mut [bool],
@@ -1345,75 +1671,100 @@ fn try_forward(
     {
         return Ok(false);
     }
-    // Commit the hop.
+    // Commit the hop: credit taken, packet handed to the destination
+    // shard's inbox. The inbox mutex is held for one slab write; the energy
+    // contribution is logged (not applied) because float accumulation must
+    // replay in id order.
     used_outputs[out_idx] = true;
     shared
         .occ(next.index(), down_idx, vc)
         .fetch_add(1, Ordering::Relaxed);
-    let mut moved = packet.clone();
+    let mut moved = *packet;
     moved.hops += 1;
     moved.virtual_channel = VirtualChannelId::new(vc as u8);
     let latency = shared.link_latency(node, next.index());
-    events.push(RouterEvent::Forward {
-        arrival_cycle: cycle + latency,
-        to_node: next.index(),
-        from_index: down_idx,
-        vc,
-        packet: moved,
-    });
+    let dst_shard = shared.plan.locate(next.index()).0;
+    shared.inboxes[dst_shard]
+        .lock()
+        .expect("inbox poisoned")
+        .push(
+            InFlightMeta {
+                arrival_cycle: cycle + latency,
+                to_node: next.index() as u32,
+                from_index: down_idx as u32,
+                vc: vc as u32,
+            },
+            moved,
+        );
+    if cycle >= shared.config.warmup_cycles {
+        commit.push_back(
+            commits,
+            CommitEntry::LinkEnergy {
+                size_bits: moved.kind.size_bits(shared.system.cacheline_bytes),
+            },
+        );
+    }
     Ok(true)
 }
 
-/// Replays every router's deferred events in router-id order, reproducing the
-/// serial loop's exact float-accumulation order, in-flight list order, and
-/// reply-id assignment order. Integer statistics never pass through here —
-/// they are folded shard-locally (see [`LocalStats`]) and merged at run end.
+/// Replays every router's commit log in router-id order, reproducing the
+/// serial loop's exact float-accumulation order and reply-id assignment
+/// order. This is the *minimal* serial residue: a few copyable words per
+/// moved packet — the packets themselves went straight to the arrival
+/// inboxes during the routing phase, and integer statistics are folded
+/// shard-locally (see [`LocalStats`]) and merged at run end. Returns the
+/// number of entries replayed (for the `sim.pool.commit_entries_peak`
+/// gauge).
 fn commit_phase(
     shared: &Shared,
     serial: &mut SerialState,
     guards: &mut [MutexGuard<'_, ShardState>],
-) {
+) -> u64 {
     let cycle = serial.cycle;
     let measuring = cycle >= shared.config.warmup_cycles;
-    for m in 0..shared.num_nodes {
-        let (shard, slot) = shared.plan.locate(m);
-        let router = &mut guards[shard].routers[slot];
-        if router.events.is_empty() {
-            continue;
-        }
-        let mut events = std::mem::take(&mut router.events);
-        for event in events.drain(..) {
-            match event {
-                RouterEvent::Forward {
-                    arrival_cycle,
-                    to_node,
-                    from_index,
-                    vc,
-                    packet,
-                } => {
-                    if measuring {
-                        serial.stats.network_energy_pj += shared.system.energy.network_energy_pj(
-                            packet.kind.size_bits(shared.system.cacheline_bytes),
-                            1,
-                        );
-                    }
-                    serial.in_flight.push(InFlight {
-                        arrival_cycle,
-                        to_node,
-                        from_index,
-                        vc,
-                        packet,
-                    });
+    let mut entries = 0u64;
+    for (_, shard, slot) in shared.plan.locations() {
+        let ShardState { routers, pools } = &mut *guards[shard];
+        let router = &mut routers[slot];
+        while let Some(entry) = router.commit.pop_front(&mut pools.commits) {
+            entries += 1;
+            match entry {
+                CommitEntry::LinkEnergy { size_bits } => {
+                    // Logged only while measuring, so no warm-up check here.
+                    serial.stats.network_energy_pj +=
+                        shared.system.energy.network_energy_pj(size_bits, 1);
                 }
-                RouterEvent::Serviced { service, request } => {
-                    commit_serviced(shared, serial, service, request, cycle, measuring);
+                CommitEntry::Serviced {
+                    service,
+                    source,
+                    destination,
+                    kind,
+                    request_issued_at,
+                } => {
+                    let residue = ServiceResidue {
+                        service,
+                        source,
+                        destination,
+                        kind,
+                        request_issued_at,
+                    };
+                    commit_serviced(shared, serial, residue, cycle, measuring);
                 }
             }
         }
-        // Hand the (drained) buffer back so the next cycle reuses the
-        // allocation.
-        router.events = events;
     }
+    entries
+}
+
+/// The routing residue of one serviced request — everything
+/// [`commit_serviced`] needs to build the reply.
+#[derive(Debug, Clone, Copy)]
+struct ServiceResidue {
+    service: u64,
+    source: NodeId,
+    destination: NodeId,
+    kind: PacketKind,
+    request_issued_at: u64,
 }
 
 /// The serial half of a DRAM access: float energy accumulation and the
@@ -1422,8 +1773,7 @@ fn commit_phase(
 fn commit_serviced(
     shared: &Shared,
     serial: &mut SerialState,
-    service: u64,
-    request: Packet,
+    residue: ServiceResidue,
     cycle: u64,
     measuring: bool,
 ) {
@@ -1433,21 +1783,21 @@ fn commit_serviced(
             .energy
             .dram_energy_pj(shared.system.cacheline_bytes as u64 * 8);
     }
-    if let Some(reply_kind) = request.kind.reply_kind() {
+    if let Some(reply_kind) = residue.kind.reply_kind() {
         let reply = Packet {
             id: serial.next_packet_id,
-            source: request.destination,
-            destination: request.source,
+            source: residue.destination,
+            destination: residue.source,
             kind: reply_kind,
-            injected_at: cycle + service,
-            request_issued_at: request.request_issued_at,
+            injected_at: cycle + residue.service,
+            request_issued_at: residue.request_issued_at,
             hops: 0,
             virtual_channel: VirtualChannelId::UP,
         };
         serial.next_packet_id += 1;
         serial.pending_replies.push(PendingReply {
-            ready_cycle: cycle + service,
-            node: request.destination.index(),
+            ready_cycle: cycle + residue.service,
+            node: residue.destination.index(),
             packet: reply,
         });
     }
@@ -1475,7 +1825,14 @@ fn apply_eject(
         let service = router
             .memory
             .access(address, packet.kind == PacketKind::WriteRequest);
-        commit_serviced(shared, serial, service, packet, cycle, measuring);
+        let residue = ServiceResidue {
+            service,
+            source: packet.source,
+            destination: packet.destination,
+            kind: packet.kind,
+            request_issued_at: packet.request_issued_at,
+        };
+        commit_serviced(shared, serial, residue, cycle, measuring);
     }
 }
 

@@ -28,6 +28,8 @@
 //! * [`shard`] — shard planning: round-robin ownership, per-router wait
 //!   lists, and the shard-count resolution policy (`SF_SIM_SHARDS`, core
 //!   budget, explicit config).
+//! * [`pool`] — index-linked free-list slabs ([`pool::Pool`], [`pool::List`],
+//!   [`pool::InFlightPool`]) that make steady-state cycles allocation-free.
 //! * [`kernel`] — the [`ShardedSimulator`] itself.
 //! * [`stats`] — [`SimulationStats`] and derived metrics (latency, accepted
 //!   throughput, energy-delay product, saturation heuristic).
@@ -42,6 +44,7 @@
 pub mod kernel;
 pub mod memory;
 pub mod packet;
+pub mod pool;
 pub mod shard;
 pub mod stats;
 

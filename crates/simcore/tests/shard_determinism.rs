@@ -21,6 +21,20 @@ fn run_once(
     seed: u64,
     request_reply: bool,
 ) -> (SimulationStats, Vec<sf_simcore::MemoryNodeStats>) {
+    run_once_vc(topo, nodes, shards, rate, seed, request_reply, 2, 8)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once_vc(
+    topo: &StringFigureTopology,
+    nodes: usize,
+    shards: usize,
+    rate: f64,
+    seed: u64,
+    request_reply: bool,
+    virtual_channels: usize,
+    vc_queue_capacity: usize,
+) -> (SimulationStats, Vec<sf_simcore::MemoryNodeStats>) {
     let mut sim = ShardedSimulator::new(
         topo.graph().clone(),
         Box::new(GreediestRouting::new(topo)),
@@ -29,6 +43,8 @@ fn run_once(
             max_cycles: 900,
             warmup_cycles: 150,
             shards,
+            virtual_channels,
+            vc_queue_capacity,
             ..SimulationConfig::default()
         },
     )
@@ -45,7 +61,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// K ∈ {1, 2, 4, 7} shards: byte-identical `SimulationStats`, identical
-    /// DRAM model state, for arbitrary topology seeds, loads, and modes.
+    /// DRAM model state, for arbitrary topology seeds, loads, and modes —
+    /// including arbitrary virtual-channel counts and queue capacities, the
+    /// axes that shape the pooled per-(port, vc) arrival queues.
     #[test]
     fn prop_shard_count_never_changes_results(
         nodes in 24usize..72,
@@ -53,29 +71,35 @@ proptest! {
         rate_milli in 10u64..400,
         traffic_seed in any::<u16>(),
         request_reply in any::<bool>(),
+        virtual_channels in 1usize..4,
+        vc_queue_capacity in 2usize..10,
     ) {
         let config = NetworkConfig::new(nodes, 4)
             .unwrap()
             .with_seed(u64::from(topo_seed));
         let topo = StringFigureTopology::generate(&config).unwrap();
         let rate = rate_milli as f64 / 1000.0;
-        let reference = run_once(
+        let reference = run_once_vc(
             &topo,
             nodes,
             1,
             rate,
             u64::from(traffic_seed),
             request_reply,
+            virtual_channels,
+            vc_queue_capacity,
         );
         prop_assert!(reference.0.injected > 0);
         for &shards in &SHARD_COUNTS[1..] {
-            let sharded = run_once(
+            let sharded = run_once_vc(
                 &topo,
                 nodes,
                 shards,
                 rate,
                 u64::from(traffic_seed),
                 request_reply,
+                virtual_channels,
+                vc_queue_capacity,
             );
             prop_assert_eq!(&sharded.0, &reference.0, "shards={}", shards);
             prop_assert_eq!(&sharded.1, &reference.1, "shards={}", shards);
@@ -227,6 +251,58 @@ fn gated_topologies_are_shard_count_independent() {
     for shards in [2usize, 4, 7] {
         assert_eq!(run(shards), reference, "shards={shards}");
     }
+}
+
+/// A fault storm: waves striking every 60 cycles, three links and two
+/// routers per wave, slow repairs — so at any moment a large slice of the
+/// network is dark and the kernel's fault boundary (router purges, in-flight
+/// drops via the one-pass `InFlightPool::extract_if`, occupancy rollbacks)
+/// runs nearly every wave. Stats and DRAM state must stay bit-identical
+/// across shard counts and across reruns.
+#[test]
+fn fault_storm_is_shard_count_independent() {
+    let topo =
+        StringFigureTopology::generate(&NetworkConfig::new(56, 4).unwrap().with_seed(11)).unwrap();
+    let plan = FaultPlan::new(29)
+        .starting_at(150)
+        .with_period(60)
+        .with_severity(3, 2)
+        .with_repair_cycles(30);
+    let run = |shards: usize| {
+        let mut sim = ShardedSimulator::new(
+            topo.graph().clone(),
+            Box::new(GreediestRouting::new(&topo)),
+            SystemConfig::default(),
+            SimulationConfig {
+                max_cycles: 1_200,
+                warmup_cycles: 150,
+                shards,
+                fault: Some(plan),
+                ..SimulationConfig::default()
+            },
+        )
+        .unwrap()
+        .with_request_reply(true);
+        let stats = sim
+            .run(&mut UniformRandomTraffic::new(56, 0.25, 77))
+            .unwrap();
+        (stats, sim.memory_stats())
+    };
+    let reference = run(1);
+    assert!(reference.0.injected > 0);
+    assert!(reference.0.fault_events() > 0, "storm never struck");
+    assert!(
+        reference.0.dropped_packets > 0,
+        "storm dropped nothing — not stressing drop_in_flight"
+    );
+    for &shards in &SHARD_COUNTS[1..] {
+        let sharded = run(shards);
+        assert_eq!(sharded.0, reference.0, "shards={shards}");
+        assert_eq!(sharded.1, reference.1, "shards={shards}");
+    }
+    // Rerun at the highest shard count: the storm path itself must be
+    // deterministic, not merely shard-count-invariant.
+    assert_eq!(run(7), reference);
 }
 
 /// More shards than routers must degrade gracefully to one router per shard.
